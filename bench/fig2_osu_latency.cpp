@@ -1,0 +1,51 @@
+// Reproduces paper Figure 2: OSU MPI latency vs message size on DCC, EC2 and
+// Vayu.
+//
+// Expected shape (paper §V-A): Vayu ~2 us small-message latency, EC2 ~55 us
+// and stable, DCC fluctuating between ~60 us and several hundred us from 1 B
+// to 512 KB (VMware vSwitch scheduling).
+#include <algorithm>
+#include <cstdio>
+
+#include "core/options.hpp"
+#include "core/table.hpp"
+#include "osu/osu.hpp"
+#include "platform/platform.hpp"
+
+int main(int argc, char** argv) {
+  const cirrus::core::Options opts(argc, argv);
+  using namespace cirrus;
+  core::Figure fig;
+  fig.id = "fig2";
+  fig.title = "OSU MPI latency tests for DCC, EC2 and Vayu clusters";
+  fig.xlabel = "bytes";
+  fig.ylabel = "microseconds";
+
+  const auto sizes = osu::default_sizes();
+  for (const auto& platform : plat::study_platforms()) {
+    core::Series s;
+    s.name = platform.name + " (" + platform.interconnect + ")";
+    for (const auto& pt : osu::latency(platform, sizes)) {
+      s.points.emplace_back(static_cast<double>(pt.bytes), pt.usec);
+    }
+    fig.series.push_back(std::move(s));
+  }
+  std::fputs(fig.table_str().c_str(), stdout);
+  if (const auto dir = opts.get("csv")) {
+    std::printf("wrote %s\n", cirrus::core::write_figure_csv(fig, *dir).c_str());
+  }
+
+  // Quantify DCC's fluctuation (coefficient of variation of small-message
+  // latency across sizes, where latency should otherwise be flat).
+  for (const auto& s : fig.series) {
+    double mn = 1e300, mx = 0;
+    for (const auto& [x, y] : s.points) {
+      if (x <= 4096) {
+        mn = std::min(mn, y);
+        mx = std::max(mx, y);
+      }
+    }
+    std::printf("%s small-message latency range: %.1f .. %.1f us\n", s.name.c_str(), mn, mx);
+  }
+  return 0;
+}

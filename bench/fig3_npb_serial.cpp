@@ -1,0 +1,40 @@
+// Reproduces paper Figure 3: NPB class B single-process execution time on
+// each platform, normalised to DCC. The paper's absolute DCC walltimes (the
+// calibration anchor) are printed alongside the simulated ones.
+//
+// Expected shape: Vayu and EC2 both well under 1.0 (faster clocks/memory),
+// with EC2 slightly slower than Vayu (Xen overhead).
+#include <cstdio>
+
+#include "core/table.hpp"
+#include "npb/npb.hpp"
+
+int main() {
+  using namespace cirrus;
+  const double paper_dcc[] = {1696.9, 141.5, 244.9, 327.6, 8.6, 1514.7, 72.0, 1936.1};
+
+  core::Table t({"bench", "dcc (s)", "paper dcc (s)", "ec2 (s)", "vayu (s)", "ec2/dcc",
+                 "vayu/dcc"});
+  int idx = 0;
+  for (const auto& b : npb::all_benchmarks()) {
+    const double dcc =
+        npb::run_benchmark(b.name, npb::Class::B, plat::dcc(), 1, /*execute=*/false)
+            .elapsed_seconds;
+    const double ec2 =
+        npb::run_benchmark(b.name, npb::Class::B, plat::ec2(), 1, /*execute=*/false)
+            .elapsed_seconds;
+    const double vayu =
+        npb::run_benchmark(b.name, npb::Class::B, plat::vayu(), 1, /*execute=*/false)
+            .elapsed_seconds;
+    t.row()
+        .add(b.name + ".B.1")
+        .add(dcc, 1)
+        .add(paper_dcc[idx++], 1)
+        .add(ec2, 1)
+        .add(vayu, 1)
+        .add(ec2 / dcc, 3)
+        .add(vayu / dcc, 3);
+  }
+  std::printf("## fig3: NPB class B serial time, normalised w.r.t. DCC\n%s", t.str().c_str());
+  return 0;
+}

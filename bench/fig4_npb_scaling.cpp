@@ -1,0 +1,56 @@
+// Reproduces paper Figure 4: NPB class B speedup curves (relative to one
+// process on the same platform) for all eight benchmarks on DCC, EC2 and
+// Vayu, np = 1..64.
+//
+// Expected shapes (paper §V-B):
+//  * EP: near-linear on Vayu and DCC; EC2 fluctuates but trends up.
+//  * FT: Vayu near-linear; DCC/EC2 scale poorly.
+//  * DCC drops at 16 processes (first GigE crossing), partially recovering
+//    at higher np as Alltoall message sizes shrink.
+//  * EC2 drops at 16 (HyperThreading on the first node), not 32.
+//  * CG on DCC drops at 8 (masked NUMA); IS scales poorly everywhere.
+//
+// Pass a benchmark name (e.g. `fig4_npb_scaling CG`) to run one benchmark
+// only; default runs the full sweep.
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+
+#include "core/options.hpp"
+#include "core/table.hpp"
+#include "npb/npb.hpp"
+
+int main(int argc, char** argv) {
+  using namespace cirrus;
+  const core::Options opts(argc, argv);
+  const std::string only = opts.positional().empty() ? "" : opts.positional()[0];
+
+  for (const auto& b : npb::all_benchmarks()) {
+    if (!only.empty() && b.name != only) continue;
+    core::Figure fig;
+    fig.id = "fig4-" + b.name;
+    fig.title = b.name + " class B speedup comparison on three different platforms";
+    fig.xlabel = "# of cores";
+    fig.ylabel = "Speedup";
+    for (const auto& platform : plat::study_platforms()) {
+      core::Series s;
+      s.name = platform.name;
+      double t1 = 0;
+      for (const int np : b.valid_np) {
+        if (np > platform.total_slots()) continue;
+        const auto r =
+            npb::run_benchmark(b.name, npb::Class::B, platform, np, /*execute=*/false);
+        if (np == 1) t1 = r.elapsed_seconds;
+        s.points.emplace_back(np, t1 / r.elapsed_seconds);
+      }
+      fig.series.push_back(std::move(s));
+    }
+    std::fputs(fig.table_str().c_str(), stdout);
+    if (const auto dir = opts.get("csv")) {
+      std::printf("wrote %s\n", core::write_figure_csv(fig, *dir).c_str());
+    }
+    std::fputs("\n", stdout);
+  }
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Reproduces paper Figure 5: speedup of the Chaste cardiac benchmark and of
+// its KSp (linear solver) section on Vayu and DCC, relative to 8 cores.
+//
+// Expected shape: Vayu scales well (the real KSp scales to 1024 cores); DCC
+// scales poorly, and the KSp section determines the total's behaviour.
+// Paper anchors: t8 total Vayu ~1017 s / DCC ~1599 s; KSp 579 s / 938 s.
+// (The published figure's legend transposes the two t8 values; see
+// EXPERIMENTS.md.)
+#include <cstdio>
+
+#include "apps/chaste/chaste.hpp"
+#include "core/options.hpp"
+#include "core/table.hpp"
+
+int main(int argc, char** argv) {
+  const cirrus::core::Options opts(argc, argv);
+  using namespace cirrus;
+  const int np_list[] = {8, 16, 32, 48, 64};
+
+  core::Figure fig;
+  fig.id = "fig5";
+  fig.title = "Speedup of Chaste and its KSp solver section (over 8 cores)";
+  fig.xlabel = "Number of Cores";
+  fig.ylabel = "Speedup over 8 cores";
+
+  for (const char* pname : {"vayu", "dcc"}) {
+    const auto platform = plat::by_name(pname);
+    core::Series total{std::string(pname) + " total", {}};
+    core::Series ksp{std::string(pname) + " KSp", {}};
+    double t8 = 0, k8 = 0;
+    for (const int np : np_list) {
+      mpi::JobConfig cfg;
+      cfg.platform = platform;
+      cfg.np = np;
+      cfg.traits = chaste::traits();
+      cfg.execute = false;
+      cfg.name = std::string("chaste.") + pname + "." + std::to_string(np);
+      auto r = mpi::run_job(cfg, [](mpi::RankEnv& env) { chaste::run(env); });
+      const double ksp_t = r.ipm.section_wall_seconds("KSp");
+      if (np == 8) {
+        t8 = r.elapsed_seconds;
+        k8 = ksp_t;
+        std::printf("%s t8 = %.0f s (paper: %s), KSp t8 = %.0f s (paper: %s)\n", pname,
+                    t8, pname[0] == 'v' ? "1017" : "1599", k8,
+                    pname[0] == 'v' ? "579" : "938");
+      }
+      total.points.emplace_back(np, t8 / r.elapsed_seconds);
+      ksp.points.emplace_back(np, k8 / ksp_t);
+    }
+    fig.series.push_back(std::move(total));
+    fig.series.push_back(std::move(ksp));
+  }
+  std::fputs(fig.table_str().c_str(), stdout);
+  if (const auto dir = opts.get("csv")) {
+    std::printf("wrote %s\n", cirrus::core::write_figure_csv(fig, *dir).c_str());
+  }
+  return 0;
+}

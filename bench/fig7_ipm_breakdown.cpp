@@ -1,0 +1,60 @@
+// Reproduces paper Figure 7: per-rank computation / communication time
+// breakdown (and its load balance) of MetUM's ATM_STEP section at 32 cores,
+// on Vayu and DCC.
+//
+// Expected shape: on DCC the communication share is far larger and is
+// primarily *system* time (E1000 softirq processing); the tropical ranks
+// 8..23 show more computation (convection), and NUMA masking adds irregular
+// per-rank compute imbalance on DCC. On Vayu the profile is comparatively
+// flat with a small user-time communication share.
+#include <cstdio>
+
+#include "apps/metum/metum.hpp"
+#include "core/table.hpp"
+
+namespace {
+
+void breakdown(const char* pname) {
+  cirrus::mpi::JobConfig cfg;
+  cfg.platform = cirrus::plat::by_name(pname);
+  cfg.np = 32;
+  cfg.traits = cirrus::metum::traits();
+  cfg.execute = false;
+  cfg.name = std::string("fig7.") + pname;
+  auto r = cirrus::mpi::run_job(cfg, [](cirrus::mpi::RankEnv& env) { cirrus::metum::run(env); });
+
+  std::printf("\n### %s: ATM_STEP per-rank breakdown at 32 cores\n", pname);
+  cirrus::core::Table t({"rank", "comp (s)", "comm user (s)", "comm sys (s)", "bar"});
+  double max_total = 0;
+  const auto rows = r.ipm.rank_breakdown("ATM_STEP");
+  for (const auto& row : rows) {
+    max_total = std::max(max_total, row.comp_s + row.comm_user_s + row.comm_sys_s);
+  }
+  for (const auto& row : rows) {
+    // ASCII stacked bar: '#' compute, 'u' user comm, 's' system comm.
+    const double scale = 46.0 / max_total;
+    std::string bar(static_cast<std::size_t>(row.comp_s * scale), '#');
+    bar += std::string(static_cast<std::size_t>(row.comm_user_s * scale), 'u');
+    bar += std::string(static_cast<std::size_t>(row.comm_sys_s * scale), 's');
+    t.row().add(row.rank).add(row.comp_s, 1).add(row.comm_user_s, 1).add(row.comm_sys_s, 1).add(bar);
+  }
+  std::fputs(t.str().c_str(), stdout);
+
+  double comp = 0, user = 0, sys = 0;
+  for (const auto& row : rows) {
+    comp += row.comp_s;
+    user += row.comm_user_s;
+    sys += row.comm_sys_s;
+  }
+  std::printf("totals: comp %.0f s, comm user %.0f s, comm system %.0f s "
+              "(system/user = %.1f)\n",
+              comp, user, sys, user > 0 ? sys / user : 0.0);
+}
+
+}  // namespace
+
+int main() {
+  breakdown("vayu");
+  breakdown("dcc");
+  return 0;
+}

@@ -1,0 +1,96 @@
+// google-benchmark microbenchmarks of the simulator substrate itself: how
+// fast the host machine can push fibers, events, messages and collectives.
+// These bound how large a simulated study fits in a given wall-clock budget.
+#include <benchmark/benchmark.h>
+
+#include "mpi/minimpi.hpp"
+#include "sim/engine.hpp"
+#include "sim/fiber.hpp"
+
+namespace {
+
+using namespace cirrus;
+
+void BM_FiberSwitch(benchmark::State& state) {
+  sim::Fiber* self = nullptr;
+  bool stop = false;
+  sim::Fiber f(
+      [&] {
+        while (!stop) self->yield();
+      },
+      64 << 10);
+  self = &f;
+  for (auto _ : state) {
+    f.resume();  // one round trip = two context switches
+  }
+  stop = true;
+  f.resume();
+  state.SetItemsProcessed(state.iterations() * 2);
+}
+BENCHMARK(BM_FiberSwitch);
+
+void BM_EngineEventThroughput(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Engine eng;
+    const int n = 10000;
+    for (int i = 0; i < n; ++i) eng.schedule_at(i, [] {});
+    eng.run();
+    benchmark::DoNotOptimize(eng.events_processed());
+    state.SetItemsProcessed(state.items_processed() + n);
+  }
+}
+BENCHMARK(BM_EngineEventThroughput);
+
+void BM_ProcessAdvance(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Engine eng;
+    const int steps = 2000;
+    eng.spawn("p", [&](sim::Process& self) {
+      for (int i = 0; i < steps; ++i) self.advance(10);
+    });
+    eng.run();
+    state.SetItemsProcessed(state.items_processed() + steps);
+  }
+}
+BENCHMARK(BM_ProcessAdvance);
+
+void BM_P2PMessageRate(benchmark::State& state) {
+  const auto msgs = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    mpi::JobConfig cfg;
+    cfg.platform = plat::vayu();
+    cfg.np = 2;
+    cfg.name = "bench";
+    mpi::run_job(cfg, [msgs](mpi::RankEnv& env) {
+      auto& c = env.world();
+      for (int i = 0; i < msgs; ++i) {
+        if (c.rank() == 0) {
+          c.send_bytes(1, 1, nullptr, 8);
+        } else {
+          c.recv_bytes(0, 1, nullptr, 8);
+        }
+      }
+    });
+    state.SetItemsProcessed(state.items_processed() + msgs);
+  }
+}
+BENCHMARK(BM_P2PMessageRate)->Arg(10000);
+
+void BM_Allreduce64Ranks(benchmark::State& state) {
+  for (auto _ : state) {
+    mpi::JobConfig cfg;
+    cfg.platform = plat::vayu();
+    cfg.np = 64;
+    cfg.name = "bench";
+    mpi::run_job(cfg, [](mpi::RankEnv& env) {
+      double x = 1;
+      for (int i = 0; i < 20; ++i) x = env.world().allreduce_one(x, mpi::Op::Sum);
+    });
+    state.SetItemsProcessed(state.items_processed() + 20);
+  }
+}
+BENCHMARK(BM_Allreduce64Ranks);
+
+}  // namespace
+
+BENCHMARK_MAIN();

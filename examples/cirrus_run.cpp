@@ -1,0 +1,145 @@
+// cirrus_run — the general experiment driver: run any workload on any
+// platform configuration from the command line.
+//
+//   cirrus_run npb    --bench CG --class B --platform vayu --np 32 [--execute]
+//   cirrus_run osu    --test bw|lat --platform dcc
+//   cirrus_run metum  --platform ec2 --np 32 --rpn 8
+//   cirrus_run chaste --platform dcc --np 16
+//
+// Common options: --platform vayu|dcc|ec2  --np N  --rpn ranks-per-node
+//                 --seed S  --execute  --eager BYTES  --ipm (full summary)
+//                 --trace FILE (write a chrome://tracing JSON span trace)
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "apps/chaste/chaste.hpp"
+#include "apps/metum/metum.hpp"
+#include "core/options.hpp"
+#include "core/table.hpp"
+#include "npb/npb.hpp"
+#include "osu/osu.hpp"
+
+namespace {
+
+using namespace cirrus;
+
+int usage(const char* prog) {
+  std::fprintf(stderr,
+               "usage: %s npb|osu|metum|chaste [--platform vayu|dcc|ec2] [--np N]\n"
+               "  npb:    --bench BT|EP|CG|FT|IS|LU|MG|SP --class T|S|W|A|B|C [--execute]\n"
+               "  osu:    --test bw|lat\n"
+               "  common: --rpn ranks-per-node --seed S --eager bytes --ipm\n",
+               prog);
+  return 2;
+}
+
+mpi::JobConfig base_config(const core::Options& opts) {
+  mpi::JobConfig cfg;
+  cfg.platform = plat::by_name(opts.get_or("platform", "vayu"));
+  cfg.np = opts.get_int("np", 8);
+  cfg.max_ranks_per_node = opts.get_int("rpn", -1);
+  cfg.seed = static_cast<std::uint64_t>(opts.get_int("seed", 1));
+  cfg.execute = opts.has("execute");
+  cfg.eager_threshold_bytes =
+      static_cast<std::size_t>(opts.get_int("eager", 16 * 1024));
+  cfg.enable_trace = opts.has("trace");
+  return cfg;
+}
+
+void print_result(const mpi::JobResult& r, const std::string& name,
+                  const core::Options& opts) {
+  std::printf("%s: %.3f s virtual walltime, %.1f%% comm, %.1f%% imbalance\n", name.c_str(),
+              r.elapsed_seconds, r.ipm.comm_pct(), r.ipm.imbalance_pct());
+  for (const auto& [k, v] : r.values) std::printf("  %s = %g\n", k.c_str(), v);
+  if (opts.has("ipm")) {
+    std::fputs(r.ipm.text_summary(name).c_str(), stdout);
+    std::fputs(r.ipm.call_table_str().c_str(), stdout);
+  }
+  if (const auto path = opts.get("trace"); path && r.trace) {
+    std::ofstream out(*path);
+    out << r.trace->to_chrome_json();
+    std::printf("wrote %zu trace events to %s (open in chrome://tracing)\n",
+                r.trace->size(), path->c_str());
+  }
+}
+
+int run_npb(const core::Options& opts) {
+  const std::string bench = opts.get_or("bench", "CG");
+  const auto cls = npb::class_from_char(opts.get_or("class", "S")[0]);
+  auto cfg = base_config(opts);
+  const auto& info = npb::benchmark(bench);
+  auto job = npb::make_job(info, cls, cfg.platform, cfg.np, cfg.execute, cfg.seed);
+  job.max_ranks_per_node = cfg.max_ranks_per_node;
+  job.eager_threshold_bytes = cfg.eager_threshold_bytes;
+  job.enable_trace = cfg.enable_trace;
+  const auto r = mpi::run_job(job, [&info, cls](mpi::RankEnv& env) {
+    const auto res = info.fn(env, cls);
+    if (env.rank() == 0) {
+      env.report("verified", res.verified ? 1.0 : 0.0);
+      env.report("verification_value", res.verification_value);
+    }
+  });
+  print_result(r, info.name + "." + std::string(1, npb::to_char(cls)) + "." +
+                      std::to_string(cfg.np) + " on " + cfg.platform.name,
+               opts);
+  if (cfg.execute && r.values.count("verified") != 0U && r.values.at("verified") != 1.0) {
+    std::fputs("VERIFICATION FAILED\n", stderr);
+    return 1;
+  }
+  return 0;
+}
+
+int run_osu(const core::Options& opts) {
+  const auto platform = plat::by_name(opts.get_or("platform", "vayu"));
+  const std::string test = opts.get_or("test", "bw");
+  core::Table t(test == "bw" ? std::vector<std::string>{"bytes", "MB/s"}
+                             : std::vector<std::string>{"bytes", "usec"});
+  if (test == "bw") {
+    for (const auto& p : osu::bandwidth(platform, osu::default_sizes())) {
+      t.row().add(static_cast<int>(p.bytes)).add(p.mb_per_s, 2);
+    }
+  } else {
+    for (const auto& p : osu::latency(platform, osu::default_sizes())) {
+      t.row().add(static_cast<int>(p.bytes)).add(p.usec, 2);
+    }
+  }
+  std::printf("osu_%s on %s\n%s", test.c_str(), platform.name.c_str(), t.str().c_str());
+  return 0;
+}
+
+int run_metum(const core::Options& opts) {
+  auto cfg = base_config(opts);
+  cfg.traits = metum::traits();
+  cfg.name = "metum";
+  const auto r = mpi::run_job(cfg, [](mpi::RankEnv& env) { metum::run(env); });
+  print_result(r, "MetUM N320L70 on " + cfg.platform.name, opts);
+  return 0;
+}
+
+int run_chaste(const core::Options& opts) {
+  auto cfg = base_config(opts);
+  cfg.traits = chaste::traits();
+  cfg.name = "chaste";
+  const auto r = mpi::run_job(cfg, [](mpi::RankEnv& env) { chaste::run(env); });
+  print_result(r, "Chaste rabbit heart on " + cfg.platform.name, opts);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const core::Options opts(argc, argv);
+  if (opts.positional().empty()) return usage(argv[0]);
+  const std::string& mode = opts.positional()[0];
+  try {
+    if (mode == "npb") return run_npb(opts);
+    if (mode == "osu") return run_osu(opts);
+    if (mode == "metum") return run_metum(opts);
+    if (mode == "chaste") return run_chaste(opts);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return usage(argv[0]);
+}

@@ -1,0 +1,62 @@
+// Chaste cardiac-simulation proxy (paper §V-C1).
+//
+// The paper's benchmark is Chaste 2.1 solving the electrical activity of a
+// high-resolution rabbit heart (~4 M nodes / 24 M elements) for 250 timesteps
+// with a conjugate-gradient linear solver. Chaste itself is a large C++
+// framework; what the paper measures is the behaviour of its sections:
+//
+//   InputMesh — parallel read + partition of a 1.4 GB mesh (mostly
+//               replicated work: 1.25x speedup from 8 to 64 cores);
+//   Ode       — per-cell membrane-model ODEs (embarrassingly parallel);
+//   Assembly  — FEM right-hand-side assembly (halo exchange + local work);
+//   KSp       — the dominant section: a Jacobi-preconditioned CG solve per
+//               timestep whose communication is "entirely 4-byte all-reduce
+//               operations" (paper), hence latency/jitter bound on clouds;
+//   Output    — per-rank result writing (open-latency bound on Lustre).
+//
+// Execute mode runs a real monodomain problem (FitzHugh–Nagumo membrane
+// model, semi-implicit diffusion solved with cirrus::la CG) on a downscaled
+// grid, with physical verification; model mode replays the full-scale
+// communication/computation pattern.
+#pragma once
+
+#include "mpi/minimpi.hpp"
+#include "platform/platform.hpp"
+
+namespace cirrus::chaste {
+
+struct Config {
+  // Paper-scale (model-mode) problem.
+  long long mesh_nodes = 4'000'000;
+  long long mesh_elements = 24'000'000;
+  int timesteps = 250;  // 2.0 ms of cardiac time
+  double mesh_file_bytes = 1.4e9;
+  int ksp_iters_per_step = 30;
+  double output_bytes_per_step = 1.0e6;
+
+  // Serial reference work (DCC-core seconds), calibrated so the Vayu/DCC
+  // 8-core section times match the paper's Fig 5 (KSp t8: 579 s / 938 s).
+  double ref_ksp_seconds = 2898.0;
+  double ref_ode_seconds = 1302.0;
+  double ref_assembly_seconds = 551.0;
+  double ref_mesh_seconds = 270.0;      // the replicated-fraction constant
+  double mesh_parallel_weight = 2.37;   // c(np) = a*(1 + weight/np)
+
+  // Execute-mode downscaled monodomain grid.
+  int exec_nx = 12, exec_ny = 12, exec_nz = 12;
+  int exec_timesteps = 30;
+};
+
+struct Result {
+  bool verified = false;
+  double final_norm = 0.0;       ///< ||V||_2 at the end (execute mode)
+  long long activated_nodes = 0; ///< cells that saw the wavefront
+};
+
+/// The workload traits used by the paper-scale runs (memory-bound FEM).
+plat::WorkloadTraits traits();
+
+/// Runs the cardiac benchmark inside a rank fiber.
+Result run(mpi::RankEnv& env, const Config& cfg = Config{});
+
+}  // namespace cirrus::chaste

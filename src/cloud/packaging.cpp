@@ -1,0 +1,96 @@
+#include "cloud/packaging.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace cirrus::cloud {
+
+const char* to_string(IsaFeature f) noexcept {
+  switch (f) {
+    case IsaFeature::Sse2: return "sse2";
+    case IsaFeature::Sse42: return "sse4.2";
+    case IsaFeature::Avx: return "avx";
+  }
+  return "?";
+}
+
+std::set<IsaFeature> host_features(const plat::Platform& p) {
+  // Baseline for every study host; Vayu's toolchain additionally accepts the
+  // vendor-tuned SSE4 path the paper had to avoid elsewhere.
+  std::set<IsaFeature> f{IsaFeature::Sse2};
+  if (p.name == "vayu") f.insert(IsaFeature::Sse42);
+  return f;
+}
+
+double Environment::total_mb() const {
+  double mb = 0;
+  for (const auto& m : modules) mb += m.size_mb;
+  return mb;
+}
+
+void Environment::load(const Module& m) {
+  modules.erase(std::remove_if(modules.begin(), modules.end(),
+                               [&](const Module& x) { return x.name == m.name; }),
+                modules.end());
+  modules.push_back(m);
+}
+
+bool Environment::has(const std::string& name) const {
+  return std::any_of(modules.begin(), modules.end(),
+                     [&](const Module& m) { return m.name == name; });
+}
+
+VmImage package_environment(const Environment& env, const plat::Platform& build_host) {
+  VmImage img;
+  img.env = env;
+  img.size_mb = 1600.0 + env.total_mb();  // base CentOS image + /apps payload
+  // rsync of /apps out of the shared filesystem into the image.
+  img.build_seconds = env.total_mb() * 1e6 / build_host.fs.read_Bps + 30.0;
+  return img;
+}
+
+Deployment deploy_image(const VmImage& image, const plat::Platform& target, double ingest_Bps,
+                        std::uint64_t seed) {
+  const auto provided = host_features(target);
+  std::ostringstream missing;
+  for (const auto f : image.env.binary_requires) {
+    if (provided.count(f) == 0) {
+      if (missing.tellp() > 0) missing << ", ";
+      missing << to_string(f);
+    }
+  }
+  if (missing.tellp() > 0) {
+    throw IncompatibleIsaError("binaries built on " + image.env.built_on + " require " +
+                               missing.str() + " which " + target.name +
+                               " does not provide; rebuild with portable switches "
+                               "(rebuild_portable)");
+  }
+  Deployment d;
+  d.transfer_seconds = image.size_mb * 1e6 / ingest_Bps;
+  sim::Rng rng = sim::Rng(seed).fork(0xB007);
+  d.boot_seconds = rng.lognormal_median(90.0, 0.3);
+  d.ready_seconds = d.transfer_seconds + d.boot_seconds;
+  return d;
+}
+
+Environment rebuild_portable(const Environment& env) {
+  Environment out = env;
+  out.binary_requires = {IsaFeature::Sse2};
+  return out;
+}
+
+Environment paper_environment() {
+  Environment env;
+  env.built_on = "vayu";
+  env.load(Module{"intel-cc", "11.1.046", 900});
+  env.load(Module{"intel-fc", "11.1.072", 800});
+  env.load(Module{"openmpi", "1.4.3", 250});
+  env.load(Module{"netcdf", "4.1.1", 120});
+  env.load(Module{"petsc", "3.1", 400});
+  env.load(Module{"metum", "7.8", 650});
+  env.load(Module{"chaste", "2.1", 350});
+  env.binary_requires = {IsaFeature::Sse2, IsaFeature::Sse42};  // Vayu-tuned build
+  return env;
+}
+
+}  // namespace cirrus::cloud

@@ -1,0 +1,37 @@
+// A tiny command-line option parser for the example drivers and benches.
+//
+// Syntax: positional arguments plus `--key value` pairs and `--flag`
+// switches (a `--key` followed by another `--...` or nothing is a flag).
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace cirrus::core {
+
+class Options {
+ public:
+  Options(int argc, const char* const* argv);
+
+  /// Value of `--key value`, or nullopt.
+  [[nodiscard]] std::optional<std::string> get(const std::string& key) const;
+  [[nodiscard]] std::string get_or(const std::string& key, const std::string& dflt) const;
+  [[nodiscard]] int get_int(const std::string& key, int dflt) const;
+  [[nodiscard]] double get_double(const std::string& key, double dflt) const;
+  /// True if `--key` appeared (with or without a value).
+  [[nodiscard]] bool has(const std::string& key) const;
+
+  [[nodiscard]] const std::vector<std::string>& positional() const noexcept {
+    return positional_;
+  }
+  [[nodiscard]] const std::string& program() const noexcept { return program_; }
+
+ private:
+  std::string program_;
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace cirrus::core

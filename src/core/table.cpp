@@ -1,0 +1,145 @@
+#include "core/table.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <cmath>
+#include <map>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace cirrus::core {
+
+namespace {
+
+std::string format_double(double value, int precision) {
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(precision);
+  os << value;
+  return os.str();
+}
+
+}  // namespace
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+Table& Table::row() {
+  rows_.emplace_back();
+  return *this;
+}
+
+Table& Table::add(const std::string& cell) {
+  if (rows_.empty()) throw std::logic_error("Table::add before row()");
+  rows_.back().push_back(cell);
+  return *this;
+}
+
+Table& Table::add(double value, int precision) { return add(format_double(value, precision)); }
+
+Table& Table::add(int value) { return add(std::to_string(value)); }
+
+std::string Table::str() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& r : rows_) {
+    for (std::size_t c = 0; c < r.size() && c < widths.size(); ++c) {
+      widths[c] = std::max(widths[c], r[c].size());
+    }
+  }
+  std::ostringstream os;
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      const std::string& s = c < cells.size() ? cells[c] : "";
+      os << (c == 0 ? "" : "  ");
+      os << std::string(widths[c] > s.size() ? widths[c] - s.size() : 0, ' ') << s;
+    }
+    os << "\n";
+  };
+  emit(headers_);
+  std::size_t total = 0;
+  for (auto w : widths) total += w + 2;
+  os << std::string(total > 2 ? total - 2 : 0, '-') << "\n";
+  for (const auto& r : rows_) emit(r);
+  return os.str();
+}
+
+void Table::print(std::ostream& os) const { os << str(); }
+
+std::string Table::csv() const {
+  std::ostringstream os;
+  for (std::size_t c = 0; c < headers_.size(); ++c) os << (c ? "," : "") << headers_[c];
+  os << "\n";
+  for (const auto& r : rows_) {
+    for (std::size_t c = 0; c < r.size(); ++c) os << (c ? "," : "") << r[c];
+    os << "\n";
+  }
+  return os.str();
+}
+
+namespace {
+
+/// Collects the union of x values across series, sorted.
+std::vector<double> x_axis(const std::vector<Series>& series) {
+  std::vector<double> xs;
+  for (const auto& s : series) {
+    for (const auto& [x, y] : s.points) xs.push_back(x);
+  }
+  std::sort(xs.begin(), xs.end());
+  xs.erase(std::unique(xs.begin(), xs.end(),
+                       [](double a, double b) { return std::abs(a - b) < 1e-12; }),
+           xs.end());
+  return xs;
+}
+
+std::string lookup(const Series& s, double x) {
+  for (const auto& [px, py] : s.points) {
+    if (std::abs(px - x) < 1e-12) return format_double(py, 3);
+  }
+  return "";
+}
+
+std::string format_x(double x) {
+  if (x == std::floor(x) && std::abs(x) < 1e12) {
+    return std::to_string(static_cast<long long>(x));
+  }
+  return format_double(x, 3);
+}
+
+}  // namespace
+
+std::string Figure::table_str() const {
+  std::ostringstream os;
+  os << "## " << id << ": " << title << "\n";
+  std::vector<std::string> headers{xlabel.empty() ? "x" : xlabel};
+  for (const auto& s : series) headers.push_back(s.name);
+  Table t(headers);
+  for (double x : x_axis(series)) {
+    t.row().add(format_x(x));
+    for (const auto& s : series) t.add(lookup(s, x));
+  }
+  os << t.str();
+  if (!ylabel.empty()) os << "(y: " << ylabel << ")\n";
+  return os.str();
+}
+
+std::string Figure::csv() const {
+  std::vector<std::string> headers{xlabel.empty() ? "x" : xlabel};
+  for (const auto& s : series) headers.push_back(s.name);
+  Table t(headers);
+  for (double x : x_axis(series)) {
+    t.row().add(format_x(x));
+    for (const auto& s : series) t.add(lookup(s, x));
+  }
+  return t.csv();
+}
+
+std::string write_figure_csv(const Figure& fig, const std::string& dir) {
+  const std::string path = dir + "/" + fig.id + ".csv";
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot write " + path);
+  out << fig.csv();
+  return path;
+}
+
+}  // namespace cirrus::core

@@ -1,0 +1,59 @@
+// Text-table and CSV emitters used by the benchmark harnesses to print the
+// paper's tables and figure series.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace cirrus::core {
+
+/// A simple right-aligned text table with a header row.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Starts a new row; fill it with add().
+  Table& row();
+  Table& add(const std::string& cell);
+  Table& add(double value, int precision = 2);
+  Table& add(int value);
+
+  /// Renders with column widths fitted to content.
+  [[nodiscard]] std::string str() const;
+  void print(std::ostream& os) const;
+
+  /// Renders as CSV (no padding, comma-separated, header first).
+  [[nodiscard]] std::string csv() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// One named series of (x, y) points — a line in a paper figure.
+struct Series {
+  std::string name;
+  std::vector<std::pair<double, double>> points;
+};
+
+/// A paper figure: several series over a common x axis.
+struct Figure {
+  std::string id;      // e.g. "fig4-cg"
+  std::string title;   // e.g. "CG class B speedup"
+  std::string xlabel;  // e.g. "# of cores"
+  std::string ylabel;  // e.g. "Speedup"
+  std::vector<Series> series;
+
+  /// Renders the figure as a table: one x column plus one column per series.
+  [[nodiscard]] std::string table_str() const;
+  /// Gnuplot-friendly CSV (x, series1, series2, ...). Missing points are
+  /// empty cells.
+  [[nodiscard]] std::string csv() const;
+};
+
+/// Writes `fig.csv()` to `<dir>/<fig.id>.csv`, creating nothing but the
+/// file; returns the path. Throws on I/O failure.
+std::string write_figure_csv(const Figure& fig, const std::string& dir);
+
+}  // namespace cirrus::core

@@ -1,0 +1,45 @@
+#include "ipm/trace.hpp"
+
+#include <sstream>
+
+namespace cirrus::ipm {
+
+namespace {
+
+const char* event_name(const TraceEvent& ev) {
+  switch (ev.kind) {
+    case TraceEvent::Kind::Compute: return "compute";
+    case TraceEvent::Kind::Io: return "io";
+    case TraceEvent::Kind::Mpi: return to_string(ev.call);
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::string Trace::to_chrome_json() const {
+  std::ostringstream os;
+  os << "[";
+  bool first = true;
+  for (const auto& ev : events_) {
+    if (!first) os << ",\n";
+    first = false;
+    // Durations below 1 ns round to 0 us; Chrome handles zero-width spans.
+    os << R"({"name":")" << event_name(ev) << R"(","ph":"X","pid":0,"tid":)" << ev.rank
+       << R"(,"ts":)" << sim::to_micros(ev.begin) << R"(,"dur":)"
+       << sim::to_micros(ev.end - ev.begin) << R"(,"args":{"bytes":)" << ev.bytes
+       << R"(,"peer":)" << ev.peer << "}}";
+  }
+  os << "]\n";
+  return os.str();
+}
+
+std::vector<TraceEvent> Trace::for_rank(int rank) const {
+  std::vector<TraceEvent> out;
+  for (const auto& ev : events_) {
+    if (ev.rank == rank) out.push_back(ev);
+  }
+  return out;
+}
+
+}  // namespace cirrus::ipm

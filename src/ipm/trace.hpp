@@ -1,0 +1,51 @@
+// Span tracing for simulated jobs.
+//
+// When enabled on a JobConfig, every compute charge, MPI call and I/O
+// operation is recorded as a (rank, begin, end) span. The trace exports to
+// the Chrome trace-event JSON format (load in chrome://tracing or Perfetto)
+// — one timeline row per rank, which makes pipeline stalls, collective
+// synchronisation waves and stragglers directly visible.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "ipm/ipm.hpp"
+#include "sim/time.hpp"
+
+namespace cirrus::ipm {
+
+/// One traced span of a rank's virtual time.
+struct TraceEvent {
+  enum class Kind : char { Compute = 'c', Mpi = 'm', Io = 'i' };
+
+  int rank = 0;
+  sim::SimTime begin = 0;
+  sim::SimTime end = 0;
+  Kind kind = Kind::Compute;
+  CallKind call = CallKind::kCount;  ///< set for Kind::Mpi
+  std::size_t bytes = 0;
+  int peer = -1;  ///< destination/source rank for p2p; -1 otherwise
+};
+
+/// An append-only trace of one job.
+class Trace {
+ public:
+  void add(const TraceEvent& ev) { events_.push_back(ev); }
+
+  [[nodiscard]] const std::vector<TraceEvent>& events() const noexcept { return events_; }
+  [[nodiscard]] std::size_t size() const noexcept { return events_.size(); }
+
+  /// Chrome trace-event JSON ("X" complete events; ts/dur in microseconds;
+  /// one tid per rank). Suitable for chrome://tracing and Perfetto.
+  [[nodiscard]] std::string to_chrome_json() const;
+
+  /// Events of one rank, in insertion (virtual-time) order.
+  [[nodiscard]] std::vector<TraceEvent> for_rank(int rank) const;
+
+ private:
+  std::vector<TraceEvent> events_;
+};
+
+}  // namespace cirrus::ipm

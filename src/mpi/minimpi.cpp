@@ -1,0 +1,1024 @@
+#include "mpi/minimpi.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+#include <deque>
+#include <map>
+#include <tuple>
+
+namespace cirrus::mpi {
+
+namespace detail {
+
+struct RequestState {
+  bool done = false;
+  sim::Process* waiter = nullptr;
+  std::size_t bytes = 0;
+  double sys_frac = 0.0;
+};
+
+/// An in-flight message as seen by the receiver side.
+struct Envelope {
+  int src = 0;  // comm rank of the sender
+  int tag = 0;
+  std::size_t bytes = 0;
+  std::vector<std::byte> payload;  // eager copy (empty in model mode)
+  bool has_data = false;
+  bool rendezvous = false;
+  const std::byte* sender_data = nullptr;  // rendezvous zero-copy source
+  int src_node = 0;
+  std::shared_ptr<RequestState> sreq;  // rendezvous sender completion
+  double sys_frac = 0.0;
+};
+
+struct PostedRecv {
+  int src = 0;
+  int tag = 0;
+  std::byte* buf = nullptr;
+  std::size_t bytes = 0;
+  std::shared_ptr<RequestState> rreq;
+};
+
+struct Mailbox {
+  std::deque<Envelope> unexpected;
+  std::deque<PostedRecv> posted;
+};
+
+bool matches(int want_src, int want_tag, int src, int tag) {
+  return (want_src == kAnySource || want_src == src) &&
+         (want_tag == kAnyTag || want_tag == tag);
+}
+
+}  // namespace detail
+
+using detail::Envelope;
+using detail::Mailbox;
+using detail::PostedRecv;
+using detail::RequestState;
+
+// ---------------------------------------------------------------------------
+// Job: shared per-run state.
+// ---------------------------------------------------------------------------
+
+class Job {
+ public:
+  explicit Job(const JobConfig& cfg)
+      : config(cfg),
+        engine(sim::Engine::Options{.seed = cfg.seed, .fiber_stack_bytes = cfg.fiber_stack_bytes}),
+        placement(plat::place_block(cfg.platform, cfg.np, cfg.max_ranks_per_node, cfg.traits,
+                                    cfg.seed)),
+        network(engine, cfg.platform, node_span(), cfg.seed),
+        fs(engine, cfg.platform.fs) {
+    recorders.reserve(static_cast<std::size_t>(cfg.np));
+    for (int r = 0; r < cfg.np; ++r) recorders.emplace_back(r);
+    procs.resize(static_cast<std::size_t>(cfg.np), nullptr);
+    in_coll.assign(static_cast<std::size_t>(cfg.np), 0);
+    if (cfg.enable_trace) trace = std::make_shared<ipm::Trace>();
+  }
+
+  void record_span(int world_rank, sim::SimTime t0, ipm::TraceEvent::Kind kind,
+                   ipm::CallKind call, std::size_t bytes, int peer) {
+    if (!trace) return;
+    trace->add(ipm::TraceEvent{.rank = world_rank,
+                               .begin = t0,
+                               .end = engine.now(),
+                               .kind = kind,
+                               .call = call,
+                               .bytes = bytes,
+                               .peer = peer});
+  }
+
+  [[nodiscard]] int node_span() const {
+    int mx = 0;
+    for (const auto& p : placement) mx = std::max(mx, p.node);
+    return mx + 1;
+  }
+  [[nodiscard]] int node_of(int world_rank) const {
+    return placement[static_cast<std::size_t>(world_rank)].node;
+  }
+
+  Mailbox& mailbox(int comm_id, int world_rank) { return mail_[{comm_id, world_rank}]; }
+
+  /// Allocates a consistent communicator id for a (parent, seq, color) group.
+  int split_comm_id(int parent_id, int seq, int color) {
+    auto [it, inserted] = split_ids_.try_emplace({parent_id, seq, color}, next_comm_id_);
+    if (inserted) ++next_comm_id_;
+    return it->second;
+  }
+
+  /// Registration board for in-progress splits.
+  std::vector<std::array<int, 3>>& split_board(int comm_id, int seq) {
+    return split_boards_[{comm_id, seq}];
+  }
+
+  JobConfig config;
+  sim::Engine engine;
+  std::shared_ptr<ipm::Trace> trace;  // null unless config.enable_trace
+  std::vector<plat::RankPlacement> placement;
+  net::Network network;
+  net::FileSystem fs;
+  std::vector<ipm::RankRecorder> recorders;
+  std::vector<sim::Process*> procs;
+  std::map<std::string, double> values;
+  /// Per-rank "inside a collective" flags (suppress inner p2p accounting).
+  /// One byte per world rank: fibers interleave on one OS thread, so this
+  /// must be per-rank state, never thread-local.
+  std::vector<char> in_coll;
+
+ private:
+  std::map<std::pair<int, int>, Mailbox> mail_;
+  std::map<std::tuple<int, int, int>, int> split_ids_;
+  std::map<std::pair<int, int>, std::vector<std::array<int, 3>>> split_boards_;
+  int next_comm_id_ = 1;
+};
+
+// ---------------------------------------------------------------------------
+// Request plumbing.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+void complete_request(Job& job, const std::shared_ptr<RequestState>& st) {
+  st->done = true;
+  if (st->waiter != nullptr) {
+    sim::Process* w = st->waiter;
+    st->waiter = nullptr;
+    job.engine.wake(*w);
+  }
+}
+
+/// Kicks off the wire transfer of a matched rendezvous pair. Runs in the
+/// engine context at the moment both sides are known.
+void start_rendezvous_transfer(Job& job, Envelope& env, const PostedRecv& pr, int dst_node) {
+  // The sender's buffer is stable until its request completes, and both
+  // completions are in the future, so the payload can be captured now.
+  if (env.sender_data != nullptr && pr.buf != nullptr) {
+    std::memcpy(pr.buf, env.sender_data, std::min(env.bytes, pr.bytes));
+  }
+  const auto timing = job.network.transfer(env.src_node, dst_node, env.bytes);
+  const sim::SimTime cts = job.network.control_delay(dst_node, env.src_node);
+  auto sreq = env.sreq;
+  auto rreq = pr.rreq;
+  rreq->sys_frac = env.sys_frac;
+  job.engine.schedule_at(timing.sender_free + cts, [&job, sreq] { complete_request(job, sreq); });
+  job.engine.schedule_at(timing.arrival + cts, [&job, rreq] { complete_request(job, rreq); });
+}
+
+/// Delivers an envelope at the receiver: match a posted recv or queue it.
+void deliver(Job& job, int comm_id, int dst_world, int dst_comm_rank, Envelope&& env) {
+  (void)dst_comm_rank;
+  Mailbox& mb = job.mailbox(comm_id, dst_world);
+  for (auto it = mb.posted.begin(); it != mb.posted.end(); ++it) {
+    if (detail::matches(it->src, it->tag, env.src, env.tag)) {
+      PostedRecv pr = *it;
+      mb.posted.erase(it);
+      if (env.rendezvous) {
+        start_rendezvous_transfer(job, env, pr, job.node_of(dst_world));
+      } else {
+        if (env.has_data && pr.buf != nullptr) {
+          std::memcpy(pr.buf, env.payload.data(), std::min(env.bytes, pr.bytes));
+        }
+        pr.rreq->sys_frac = env.sys_frac;
+        complete_request(job, pr.rreq);
+      }
+      return;
+    }
+  }
+  mb.unexpected.push_back(std::move(env));
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Comm: point-to-point.
+// ---------------------------------------------------------------------------
+
+Comm::Comm(Job& job, int comm_id, std::vector<int> group, int rank)
+    : job_(&job), comm_id_(comm_id), group_(std::move(group)), rank_(rank) {}
+
+bool Comm::in_collective() const noexcept {
+  return job_->in_coll[static_cast<std::size_t>(world_rank_of(rank_))] != 0;
+}
+
+namespace {
+/// Suppresses inner p2p IPM records while a collective wrapper is active.
+struct CollGuard {
+  explicit CollGuard(char& flag) : flag_(flag), prev_(flag) { flag_ = 1; }
+  ~CollGuard() { flag_ = prev_; }
+  char& flag_;
+  char prev_;
+};
+}  // namespace
+
+
+void Comm::p2p_send(int dst, int tag, const void* data, std::size_t bytes, ipm::CallKind kind,
+                    bool blocking, Request* out) {
+  assert(dst >= 0 && dst < size() && "send: destination out of range");
+  Job& job = *job_;
+  const int src_world = world_rank_of(rank_);
+  const int dst_world = world_rank_of(dst);
+  const int src_node = job.node_of(src_world);
+  const int dst_node = job.node_of(dst_world);
+  sim::Process& proc = *job.procs[static_cast<std::size_t>(src_world)];
+  const sim::SimTime t0 = job.engine.now();
+
+  auto sreq = std::make_shared<RequestState>();
+  sreq->bytes = bytes;
+  sreq->sys_frac = job.network.sys_frac(src_node, dst_node);
+
+  Envelope env;
+  env.src = rank_;
+  env.tag = tag;
+  env.bytes = bytes;
+  env.src_node = src_node;
+  env.sys_frac = sreq->sys_frac;
+
+  const bool eager = bytes <= job.config.eager_threshold_bytes;
+  const int comm_id = comm_id_;
+  if (eager) {
+    const auto timing = job.network.transfer(src_node, dst_node, bytes);
+    if (data != nullptr) {
+      const auto* p = static_cast<const std::byte*>(data);
+      env.payload.assign(p, p + bytes);
+      env.has_data = true;
+    }
+    job.engine.schedule_at(timing.arrival, [&job, comm_id, dst_world, dst, e = std::move(env)]() mutable {
+      deliver(job, comm_id, dst_world, dst, std::move(e));
+    });
+    if (timing.sender_free > t0) {
+      job.engine.wake_at(proc, timing.sender_free);
+      proc.suspend();
+    }
+    complete_request(job, sreq);  // buffer is reusable once injected
+  } else {
+    env.rendezvous = true;
+    env.sender_data = static_cast<const std::byte*>(data);
+    env.sreq = sreq;
+    const sim::SimTime rts = job.engine.now() + job.network.control_delay(src_node, dst_node);
+    job.engine.schedule_at(rts, [&job, comm_id, dst_world, dst, e = std::move(env)]() mutable {
+      deliver(job, comm_id, dst_world, dst, std::move(e));
+    });
+  }
+
+  Request req(sreq);
+  if (blocking) {
+    wait_internal(req);
+    if (!in_collective()) {
+      job.recorders[static_cast<std::size_t>(src_world)].add_mpi(
+          kind, bytes, job.engine.now() - t0, sreq->sys_frac);
+      job.record_span(src_world, t0, ipm::TraceEvent::Kind::Mpi, kind, bytes, dst);
+    }
+  } else {
+    if (!in_collective()) {
+      job.recorders[static_cast<std::size_t>(src_world)].add_mpi(
+          kind, bytes, job.engine.now() - t0, sreq->sys_frac);
+      job.record_span(src_world, t0, ipm::TraceEvent::Kind::Mpi, kind, bytes, dst);
+    }
+  }
+  if (out != nullptr) *out = req;
+}
+
+Request Comm::p2p_recv(int src, int tag, void* data, std::size_t bytes, ipm::CallKind kind,
+                       bool blocking) {
+  assert((src == kAnySource || (src >= 0 && src < size())) && "recv: source out of range");
+  Job& job = *job_;
+  const int my_world = world_rank_of(rank_);
+  const sim::SimTime t0 = job.engine.now();
+
+  auto rreq = std::make_shared<RequestState>();
+  rreq->bytes = bytes;
+
+  Mailbox& mb = job.mailbox(comm_id_, my_world);
+  bool matched = false;
+  for (auto it = mb.unexpected.begin(); it != mb.unexpected.end(); ++it) {
+    if (detail::matches(src, tag, it->src, it->tag)) {
+      Envelope env = std::move(*it);
+      mb.unexpected.erase(it);
+      if (env.rendezvous) {
+        PostedRecv pr{src, tag, static_cast<std::byte*>(data), bytes, rreq};
+        start_rendezvous_transfer(job, env, pr, job.node_of(my_world));
+      } else {
+        if (env.has_data && data != nullptr) {
+          std::memcpy(data, env.payload.data(), std::min(env.bytes, bytes));
+        }
+        rreq->sys_frac = env.sys_frac;
+        complete_request(job, rreq);
+      }
+      matched = true;
+      break;
+    }
+  }
+  if (!matched) {
+    mb.posted.push_back(PostedRecv{src, tag, static_cast<std::byte*>(data), bytes, rreq});
+  }
+
+  Request req(rreq);
+  if (blocking) {
+    wait_internal(req);
+  }
+  if (!in_collective()) {
+    job.recorders[static_cast<std::size_t>(my_world)].add_mpi(kind, bytes,
+                                                              job.engine.now() - t0,
+                                                              rreq->sys_frac);
+    job.record_span(my_world, t0, ipm::TraceEvent::Kind::Mpi, kind, bytes, src);
+  }
+  return req;
+}
+
+void Comm::wait_internal(Request& req) {
+  if (!req.state_) return;
+  auto& st = *req.state_;
+  if (!st.done) {
+    sim::Process& proc = *job_->procs[static_cast<std::size_t>(world_rank_of(rank_))];
+    assert(st.waiter == nullptr && "two processes waiting on one request");
+    st.waiter = &proc;
+    proc.suspend();
+    assert(st.done);
+  }
+}
+
+void Comm::send_bytes(int dst, int tag, const void* data, std::size_t bytes) {
+  p2p_send(dst, tag, data, bytes, ipm::CallKind::Send, /*blocking=*/true, nullptr);
+}
+
+void Comm::recv_bytes(int src, int tag, void* data, std::size_t bytes) {
+  p2p_recv(src, tag, data, bytes, ipm::CallKind::Recv, /*blocking=*/true);
+}
+
+Request Comm::isend_bytes(int dst, int tag, const void* data, std::size_t bytes) {
+  Request req;
+  p2p_send(dst, tag, data, bytes, ipm::CallKind::Isend, /*blocking=*/false, &req);
+  return req;
+}
+
+Request Comm::irecv_bytes(int src, int tag, void* data, std::size_t bytes) {
+  return p2p_recv(src, tag, data, bytes, ipm::CallKind::Irecv, /*blocking=*/false);
+}
+
+void Comm::wait(Request& req) {
+  Job& job = *job_;
+  const sim::SimTime t0 = job.engine.now();
+  wait_internal(req);
+  if (!in_collective() && req.state_) {
+    job.recorders[static_cast<std::size_t>(world_rank_of(rank_))].add_mpi(
+        ipm::CallKind::Wait, req.state_->bytes, job.engine.now() - t0, req.state_->sys_frac);
+  }
+}
+
+void Comm::waitall(std::span<Request> reqs) {
+  for (auto& r : reqs) wait(r);
+}
+
+void Comm::sendrecv_bytes(int dst, int stag, const void* sdata, std::size_t sbytes, int src,
+                          int rtag, void* rdata, std::size_t rbytes) {
+  Job& job = *job_;
+  const sim::SimTime t0 = job.engine.now();
+  double sys = 0;
+  {
+    CollGuard guard(job_->in_coll[static_cast<std::size_t>(world_rank_of(rank_))]);
+    Request rr = irecv_bytes(src, rtag, rdata, rbytes);
+    Request sr = isend_bytes(dst, stag, sdata, sbytes);
+    wait_internal(sr);
+    wait_internal(rr);
+    sys = std::max(sr.state_->sys_frac, rr.state_->sys_frac);
+  }
+  if (!in_collective()) {
+    job.recorders[static_cast<std::size_t>(world_rank_of(rank_))].add_mpi(
+        ipm::CallKind::Sendrecv, sbytes + rbytes, job.engine.now() - t0, sys);
+  }
+}
+
+bool Comm::iprobe(int src, int tag) const {
+  const Mailbox& mb =
+      const_cast<Job*>(job_)->mailbox(comm_id_, world_rank_of(rank_));
+  for (const auto& env : mb.unexpected) {
+    if (detail::matches(src, tag, env.src, env.tag)) return true;
+  }
+  return false;
+}
+
+int Comm::next_tag() noexcept {
+  // Internal tag space, disjoint from user tags (>= 0 is recommended for
+  // users; internal tags have bit 24 set).
+  const int tag = (1 << 24) | ((coll_seq_ & 0xFFFF) << 6);
+  ++coll_seq_;
+  return tag;
+}
+
+// ---------------------------------------------------------------------------
+// Collectives.
+// ---------------------------------------------------------------------------
+
+namespace {
+/// Measures a collective and books it to IPM as one call.
+struct CollTimer {
+  CollTimer(Comm& c, Job& job, int world_rank, ipm::CallKind kind, std::size_t bytes)
+      : job_(job), world_rank_(world_rank), kind_(kind), bytes_(bytes), t0_(job.engine.now()),
+        outermost_(!c.in_collective()) {
+    (void)c;
+  }
+  ~CollTimer() {
+    if (outermost_) {
+      job_.recorders[static_cast<std::size_t>(world_rank_)].add_mpi(
+          kind_, bytes_, job_.engine.now() - t0_, job_.config.platform.nic.sys_frac * 0.7);
+      job_.record_span(world_rank_, t0_, ipm::TraceEvent::Kind::Mpi, kind_, bytes_, -1);
+    }
+  }
+  Job& job_;
+  int world_rank_;
+  ipm::CallKind kind_;
+  std::size_t bytes_;
+  sim::SimTime t0_;
+  bool outermost_;
+};
+}  // namespace
+
+void Comm::barrier() {
+  const int np = size();
+  CollTimer timer(*this, *job_, world_rank_of(rank_), ipm::CallKind::Barrier, 0);
+  CollGuard guard(job_->in_coll[static_cast<std::size_t>(world_rank_of(rank_))]);
+  if (np == 1) return;
+  const int tag = next_tag();
+  // Dissemination barrier: ceil(log2 np) rounds of 0-byte exchanges.
+  for (int k = 1; k < np; k <<= 1) {
+    const int to = (rank_ + k) % np;
+    const int from = (rank_ - k % np + np) % np;
+    sendrecv_bytes(to, tag, nullptr, 0, from, tag, nullptr, 0);
+  }
+}
+
+void Comm::bcast_bytes(void* data, std::size_t bytes, int root) {
+  const int np = size();
+  CollTimer timer(*this, *job_, world_rank_of(rank_), ipm::CallKind::Bcast, bytes);
+  CollGuard guard(job_->in_coll[static_cast<std::size_t>(world_rank_of(rank_))]);
+  if (np == 1) return;
+  const std::size_t long_thresh = job_->config.bcast_long_threshold_bytes;
+  if (long_thresh > 0 && bytes > long_thresh && bytes >= static_cast<std::size_t>(np)) {
+    // van de Geijn long-message broadcast: scatter the buffer, then
+    // allgather the pieces — bandwidth-optimal for large payloads.
+    const std::size_t each = bytes / static_cast<std::size_t>(np);
+    const std::size_t remainder = bytes - each * static_cast<std::size_t>(np);
+    auto* bytes_ptr = static_cast<std::byte*>(data);
+    std::vector<std::byte> piece;
+    if (data != nullptr) piece.resize(each);
+    scatter_bytes(data, data != nullptr ? piece.data() : nullptr, each, root);
+    allgather_bytes(data != nullptr ? piece.data() : nullptr, data, each);
+    if (remainder > 0) {
+      // The tail that does not divide evenly travels down the binomial tree.
+      bcast_short(bytes_ptr == nullptr ? nullptr : bytes_ptr + bytes - remainder, remainder,
+                  root);
+    }
+    return;
+  }
+  bcast_short(data, bytes, root);
+}
+
+void Comm::bcast_short(void* data, std::size_t bytes, int root) {
+  const int np = size();
+  const int tag = next_tag();
+  const int vrank = (rank_ - root + np) % np;
+  auto real = [&](int v) { return (v + root) % np; };
+
+  // Binomial tree: receive once from the parent, then forward to children.
+  int mask = 1;
+  while (mask < np) {
+    if (vrank & mask) {
+      recv_bytes(real(vrank - mask), tag, data, bytes);
+      break;
+    }
+    mask <<= 1;
+  }
+  mask >>= 1;
+  while (mask > 0) {
+    if ((vrank & (mask - 1)) == 0 && vrank + mask < np && !(vrank & mask)) {
+      send_bytes(real(vrank + mask), tag, data, bytes);
+    }
+    mask >>= 1;
+  }
+}
+
+void Comm::reduce_bytes(const void* in, void* out, std::size_t bytes, int root,
+                        const detail::Combiner& op) {
+  const int np = size();
+  CollTimer timer(*this, *job_, world_rank_of(rank_), ipm::CallKind::Reduce, bytes);
+  CollGuard guard(job_->in_coll[static_cast<std::size_t>(world_rank_of(rank_))]);
+  const bool have_data = in != nullptr;
+  std::vector<std::byte> acc;
+  std::vector<std::byte> scratch;
+  if (have_data) {
+    const auto* p = static_cast<const std::byte*>(in);
+    acc.assign(p, p + bytes);
+    scratch.resize(bytes);
+  }
+  if (np > 1) {
+    const int tag = next_tag();
+    const int vrank = (rank_ - root + np) % np;
+    auto real = [&](int v) { return (v + root) % np; };
+    // Binomial reduction tree (mirror of bcast).
+    int mask = 1;
+    while (mask < np) {
+      if ((vrank & mask) == 0) {
+        const int child = vrank | mask;
+        if (child < np) {
+          recv_bytes(real(child), tag, have_data ? scratch.data() : nullptr, bytes);
+          if (have_data && op) op(acc.data(), scratch.data(), bytes);
+        }
+      } else {
+        send_bytes(real(vrank & ~mask), tag, have_data ? acc.data() : nullptr, bytes);
+        break;
+      }
+      mask <<= 1;
+    }
+  }
+  if (rank_ == root && out != nullptr && have_data) {
+    std::memcpy(out, acc.data(), bytes);
+  }
+}
+
+void Comm::allreduce_bytes(const void* in, void* out, std::size_t bytes,
+                           const detail::Combiner& op) {
+  const int np = size();
+  CollTimer timer(*this, *job_, world_rank_of(rank_), ipm::CallKind::Allreduce, bytes);
+  CollGuard guard(job_->in_coll[static_cast<std::size_t>(world_rank_of(rank_))]);
+  const bool have_data = in != nullptr;
+  std::vector<std::byte> acc, scratch;
+  if (have_data) {
+    const auto* p = static_cast<const std::byte*>(in);
+    acc.assign(p, p + bytes);
+    scratch.resize(bytes);
+  }
+  if (np > 1) {
+    const int tag = next_tag();
+    // MPICH-style recursive doubling with a non-power-of-two fold.
+    int pof2 = 1;
+    while (pof2 * 2 <= np) pof2 *= 2;
+    const int rem = np - pof2;
+    int newrank;
+    if (rank_ < 2 * rem) {
+      if (rank_ % 2 == 0) {
+        send_bytes(rank_ + 1, tag, have_data ? acc.data() : nullptr, bytes);
+        newrank = -1;
+      } else {
+        recv_bytes(rank_ - 1, tag, have_data ? scratch.data() : nullptr, bytes);
+        if (have_data && op) op(acc.data(), scratch.data(), bytes);
+        newrank = rank_ / 2;
+      }
+    } else {
+      newrank = rank_ - rem;
+    }
+    if (newrank >= 0) {
+      auto real = [&](int nr) { return nr < rem ? nr * 2 + 1 : nr + rem; };
+      for (int mask = 1; mask < pof2; mask <<= 1) {
+        const int partner = real(newrank ^ mask);
+        sendrecv_bytes(partner, tag, have_data ? acc.data() : nullptr, bytes, partner, tag,
+                 have_data ? scratch.data() : nullptr, bytes);
+        if (have_data && op) op(acc.data(), scratch.data(), bytes);
+      }
+    }
+    if (rank_ < 2 * rem) {
+      if (rank_ % 2 == 1) {
+        send_bytes(rank_ - 1, tag, have_data ? acc.data() : nullptr, bytes);
+      } else {
+        recv_bytes(rank_ + 1, tag, have_data ? acc.data() : nullptr, bytes);
+        if (have_data) {
+          // The reduced result arrived directly into acc.
+        }
+      }
+    }
+  }
+  if (out != nullptr && have_data) std::memcpy(out, acc.data(), bytes);
+}
+
+void Comm::allgather_bytes(const void* in, void* out, std::size_t bytes_each) {
+  const int np = size();
+  CollTimer timer(*this, *job_, world_rank_of(rank_), ipm::CallKind::Allgather,
+                  bytes_each * static_cast<std::size_t>(np));
+  CollGuard guard(job_->in_coll[static_cast<std::size_t>(world_rank_of(rank_))]);
+  const bool have_data = in != nullptr && out != nullptr;
+  auto* o = static_cast<std::byte*>(out);
+  if (have_data) {
+    std::memcpy(o + static_cast<std::size_t>(rank_) * bytes_each, in, bytes_each);
+  }
+  if (np == 1) return;
+  const int tag = next_tag();
+  const auto algo = job_->config.allgather_algo;
+  const bool use_rd = algo == JobConfig::AllgatherAlgo::RecursiveDoubling ||
+                      (algo == JobConfig::AllgatherAlgo::Auto && (np & (np - 1)) == 0);
+  if (use_rd && (np & (np - 1)) == 0) {
+    // Recursive doubling (power-of-two): log2(np) rounds, doubling block
+    // counts — the message-count-efficient algorithm MPI libraries use for
+    // small and medium allgathers.
+    for (int s = 1; s < np; s <<= 1) {
+      const int partner = rank_ ^ s;
+      const int my_start = rank_ & ~(s - 1);        // first block I hold
+      const int partner_start = partner & ~(s - 1);  // first block they hold
+      sendrecv_bytes(partner, tag,
+               have_data ? o + static_cast<std::size_t>(my_start) * bytes_each : nullptr,
+               static_cast<std::size_t>(s) * bytes_each, partner, tag,
+               have_data ? o + static_cast<std::size_t>(partner_start) * bytes_each : nullptr,
+               static_cast<std::size_t>(s) * bytes_each);
+    }
+    return;
+  }
+  // Ring (general np): p-1 steps; step s forwards the block from (rank - s).
+  const int to = (rank_ + 1) % np;
+  const int from = (rank_ - 1 + np) % np;
+  for (int s = 0; s < np - 1; ++s) {
+    const int send_block = (rank_ - s + np) % np;
+    const int recv_block = (rank_ - s - 1 + np) % np;
+    sendrecv_bytes(to, tag + (s & 63), have_data ? o + static_cast<std::size_t>(send_block) * bytes_each : nullptr,
+             bytes_each, from, tag + (s & 63),
+             have_data ? o + static_cast<std::size_t>(recv_block) * bytes_each : nullptr,
+             bytes_each);
+  }
+}
+
+void Comm::alltoall_bytes(const void* in, void* out, std::size_t bytes_each) {
+  const int np = size();
+  std::vector<std::size_t> counts(static_cast<std::size_t>(np), bytes_each);
+  CollTimer timer(*this, *job_, world_rank_of(rank_), ipm::CallKind::Alltoall,
+                  bytes_each * static_cast<std::size_t>(np));
+  CollGuard guard(job_->in_coll[static_cast<std::size_t>(world_rank_of(rank_))]);
+  alltoallv_impl(in, counts, out, counts);
+}
+
+void Comm::alltoallv_bytes(const void* in, std::span<const std::size_t> send_counts, void* out,
+                           std::span<const std::size_t> recv_counts) {
+  std::size_t total = 0;
+  for (auto c : send_counts) total += c;
+  CollTimer timer(*this, *job_, world_rank_of(rank_), ipm::CallKind::Alltoallv, total);
+  CollGuard guard(job_->in_coll[static_cast<std::size_t>(world_rank_of(rank_))]);
+  alltoallv_impl(in, send_counts, out, recv_counts);
+}
+
+void Comm::alltoallv_impl(const void* in, std::span<const std::size_t> send_counts, void* out,
+                          std::span<const std::size_t> recv_counts) {
+  const int np = size();
+  const auto* i = static_cast<const std::byte*>(in);
+  auto* o = static_cast<std::byte*>(out);
+  std::vector<std::size_t> send_off(static_cast<std::size_t>(np), 0);
+  std::vector<std::size_t> recv_off(static_cast<std::size_t>(np), 0);
+  for (int r = 1; r < np; ++r) {
+    send_off[static_cast<std::size_t>(r)] =
+        send_off[static_cast<std::size_t>(r - 1)] + send_counts[static_cast<std::size_t>(r - 1)];
+    recv_off[static_cast<std::size_t>(r)] =
+        recv_off[static_cast<std::size_t>(r - 1)] + recv_counts[static_cast<std::size_t>(r - 1)];
+  }
+  // Local block.
+  if (i != nullptr && o != nullptr) {
+    std::memcpy(o + recv_off[static_cast<std::size_t>(rank_)],
+                i + send_off[static_cast<std::size_t>(rank_)],
+                std::min(send_counts[static_cast<std::size_t>(rank_)],
+                         recv_counts[static_cast<std::size_t>(rank_)]));
+  }
+  if (np == 1) return;
+  const int tag = next_tag();
+  // Pairwise exchange: step s talks to (rank + s) / (rank - s).
+  for (int s = 1; s < np; ++s) {
+    const int to = (rank_ + s) % np;
+    const int from = (rank_ - s + np) % np;
+    sendrecv_bytes(to, tag + (s & 63),
+             i != nullptr ? i + send_off[static_cast<std::size_t>(to)] : nullptr,
+             send_counts[static_cast<std::size_t>(to)], from, tag + (s & 63),
+             o != nullptr ? o + recv_off[static_cast<std::size_t>(from)] : nullptr,
+             recv_counts[static_cast<std::size_t>(from)]);
+  }
+}
+
+void Comm::gather_bytes(const void* in, void* out, std::size_t bytes_each, int root) {
+  const int np = size();
+  CollTimer timer(*this, *job_, world_rank_of(rank_), ipm::CallKind::Gather, bytes_each);
+  CollGuard guard(job_->in_coll[static_cast<std::size_t>(world_rank_of(rank_))]);
+  const int tag = next_tag();
+  const int vrank = (rank_ - root + np) % np;
+  auto real = [&](int v) { return (v + root) % np; };
+  const bool have_data = in != nullptr;
+
+  // Binomial gather: vrank v accumulates the contiguous vrank block
+  // [v, v + held); blocks arrive at scratch offset `mask`.
+  int span = 1;  // upper bound on blocks this rank will hold
+  for (int m = 1; m < np; m <<= 1) {
+    if ((vrank & m) == 0) span = std::min(2 * m, np - vrank);
+  }
+  std::vector<std::byte> scratch;
+  if (have_data) {
+    scratch.resize(static_cast<std::size_t>(span) * bytes_each);
+    std::memcpy(scratch.data(), in, bytes_each);
+  }
+  int held = 1;
+  for (int mask = 1; mask < np; mask <<= 1) {
+    if (vrank & mask) {
+      send_bytes(real(vrank - mask), tag,
+           have_data ? scratch.data() : nullptr, static_cast<std::size_t>(held) * bytes_each);
+      break;
+    }
+    const int child = vrank + mask;
+    if (child < np) {
+      const int cnt = std::min(mask, np - child);
+      recv_bytes(real(child), tag,
+           have_data ? scratch.data() + static_cast<std::size_t>(mask) * bytes_each : nullptr,
+           static_cast<std::size_t>(cnt) * bytes_each);
+      held = mask + cnt;
+    }
+  }
+  if (rank_ == root && out != nullptr && have_data) {
+    auto* o = static_cast<std::byte*>(out);
+    for (int v = 0; v < np; ++v) {
+      std::memcpy(o + static_cast<std::size_t>(real(v)) * bytes_each,
+                  scratch.data() + static_cast<std::size_t>(v) * bytes_each, bytes_each);
+    }
+  }
+}
+
+void Comm::scatter_bytes(const void* in, void* out, std::size_t bytes_each, int root) {
+  const int np = size();
+  CollTimer timer(*this, *job_, world_rank_of(rank_), ipm::CallKind::Scatter, bytes_each);
+  CollGuard guard(job_->in_coll[static_cast<std::size_t>(world_rank_of(rank_))]);
+  const int tag = next_tag();
+  const int vrank = (rank_ - root + np) % np;
+  auto real = [&](int v) { return (v + root) % np; };
+  const bool have_data = (rank_ == root) ? in != nullptr : out != nullptr;
+
+  // Binomial scatter: the root's buffer is reordered to vrank order, then
+  // subtree blocks flow down the tree.
+  std::vector<std::byte> scratch;
+  int my_span;
+  int first_mask;  // the mask used to reach me from my parent
+  if (vrank == 0) {
+    first_mask = 1;
+    while (first_mask < np) first_mask <<= 1;
+    my_span = np;
+    if (have_data) {
+      const auto* i = static_cast<const std::byte*>(in);
+      scratch.resize(static_cast<std::size_t>(np) * bytes_each);
+      for (int v = 0; v < np; ++v) {
+        std::memcpy(scratch.data() + static_cast<std::size_t>(v) * bytes_each,
+                    i + static_cast<std::size_t>(real(v)) * bytes_each, bytes_each);
+      }
+    }
+  } else {
+    first_mask = vrank & (-vrank);  // lowest set bit
+    my_span = std::min(first_mask, np - vrank);
+    if (have_data) scratch.resize(static_cast<std::size_t>(my_span) * bytes_each);
+    recv_bytes(real(vrank - first_mask), tag, have_data ? scratch.data() : nullptr,
+         static_cast<std::size_t>(my_span) * bytes_each);
+  }
+  for (int mask = first_mask >> 1; mask >= 1; mask >>= 1) {
+    const int child = vrank + mask;
+    if (child < np && mask < my_span) {
+      const int cnt = std::min(mask, my_span - mask);
+      send_bytes(real(child), tag,
+           have_data ? scratch.data() + static_cast<std::size_t>(mask) * bytes_each : nullptr,
+           static_cast<std::size_t>(cnt) * bytes_each);
+    }
+  }
+  if (out != nullptr && have_data) std::memcpy(out, scratch.data(), bytes_each);
+}
+
+void Comm::reduce_scatter_block_bytes(const void* in, void* out, std::size_t bytes_each,
+                                      const detail::Combiner& op) {
+  const int np = size();
+  CollTimer timer(*this, *job_, world_rank_of(rank_), ipm::CallKind::ReduceScatter,
+                  bytes_each * static_cast<std::size_t>(np));
+  CollGuard guard(job_->in_coll[static_cast<std::size_t>(world_rank_of(rank_))]);
+  const bool pow2 = (np & (np - 1)) == 0;
+  const bool have_data = in != nullptr;
+  if (!pow2) {
+    // Fallback: full reduce at rank 0, then scatter.
+    std::vector<std::byte> full;
+    if (have_data && rank_ == 0) full.resize(bytes_each * static_cast<std::size_t>(np));
+    reduce_bytes(in, rank_ == 0 ? full.data() : nullptr, bytes_each * static_cast<std::size_t>(np),
+                 0, op);
+    scatter_bytes(rank_ == 0 ? full.data() : nullptr, out, bytes_each, 0);
+    return;
+  }
+  std::vector<std::byte> buf, tmp;
+  if (have_data) {
+    const auto* p = static_cast<const std::byte*>(in);
+    buf.assign(p, p + bytes_each * static_cast<std::size_t>(np));
+    tmp.resize(bytes_each * static_cast<std::size_t>(np / 2 == 0 ? 1 : np / 2));
+  }
+  const int tag = next_tag();
+  int lo = 0;
+  for (int h = np / 2; h >= 1; h /= 2) {
+    const int partner = rank_ ^ h;
+    const std::size_t half_bytes = static_cast<std::size_t>(h) * bytes_each;
+    const bool upper = (rank_ & h) != 0;
+    const std::size_t keep_off = static_cast<std::size_t>(lo + (upper ? h : 0)) * bytes_each;
+    const std::size_t give_off = static_cast<std::size_t>(lo + (upper ? 0 : h)) * bytes_each;
+    sendrecv_bytes(partner, tag, have_data ? buf.data() + give_off : nullptr, half_bytes, partner, tag,
+             have_data ? tmp.data() : nullptr, half_bytes);
+    if (have_data && op) op(buf.data() + keep_off, tmp.data(), half_bytes);
+    if (upper) lo += h;
+  }
+  if (out != nullptr && have_data) {
+    std::memcpy(out, buf.data() + static_cast<std::size_t>(rank_) * bytes_each, bytes_each);
+  }
+}
+
+void Comm::scan_bytes(const void* in, void* out, std::size_t bytes,
+                      const detail::Combiner& op) {
+  const int np = size();
+  CollTimer timer(*this, *job_, world_rank_of(rank_), ipm::CallKind::Reduce, bytes);
+  CollGuard guard(job_->in_coll[static_cast<std::size_t>(world_rank_of(rank_))]);
+  const bool have_data = in != nullptr;
+  std::vector<std::byte> acc, scratch;
+  if (have_data) {
+    const auto* p = static_cast<const std::byte*>(in);
+    acc.assign(p, p + bytes);
+    scratch.resize(bytes);
+  }
+  if (np > 1) {
+    // Hillis–Steele inclusive scan: log2 rounds; rank r receives from
+    // r - 2^k and sends to r + 2^k.
+    const int tag = next_tag();
+    for (int k = 1; k < np; k <<= 1) {
+      const int to = rank_ + k;
+      const int from = rank_ - k;
+      Request sreq, rreq;
+      if (to < np) sreq = isend_bytes(to, tag + (k & 63), have_data ? acc.data() : nullptr, bytes);
+      if (from >= 0) {
+        rreq = irecv_bytes(from, tag + (k & 63), have_data ? scratch.data() : nullptr, bytes);
+        wait_internal(rreq);
+      }
+      if (to < np) wait_internal(sreq);
+      if (from >= 0 && have_data && op) {
+        // Received partial covers [from-k+1 .. from]; combine on the right.
+        std::vector<std::byte> tmp(scratch);
+        op(tmp.data(), acc.data(), bytes);
+        // op(a, b) computes a = a (+) b elementwise; order is irrelevant for
+        // the commutative ops we expose.
+        acc.swap(tmp);
+      }
+    }
+  }
+  if (out != nullptr && have_data) std::memcpy(out, acc.data(), bytes);
+}
+
+void Comm::allgatherv_bytes(const void* in, void* out,
+                            std::span<const std::size_t> recv_counts) {
+  const int np = size();
+  std::size_t total = 0;
+  for (const auto c : recv_counts) total += c;
+  CollTimer timer(*this, *job_, world_rank_of(rank_), ipm::CallKind::Allgatherv, total);
+  CollGuard guard(job_->in_coll[static_cast<std::size_t>(world_rank_of(rank_))]);
+  const bool have_data = in != nullptr && out != nullptr;
+  std::vector<std::size_t> offsets(static_cast<std::size_t>(np) + 1, 0);
+  for (int r = 0; r < np; ++r) {
+    offsets[static_cast<std::size_t>(r) + 1] =
+        offsets[static_cast<std::size_t>(r)] + recv_counts[static_cast<std::size_t>(r)];
+  }
+  auto* o = static_cast<std::byte*>(out);
+  if (have_data) {
+    std::memcpy(o + offsets[static_cast<std::size_t>(rank_)], in,
+                recv_counts[static_cast<std::size_t>(rank_)]);
+  }
+  if (np == 1) return;
+  // Ring with per-block sizes.
+  const int tag = next_tag();
+  const int to = (rank_ + 1) % np;
+  const int from = (rank_ - 1 + np) % np;
+  for (int s = 0; s < np - 1; ++s) {
+    const int send_block = (rank_ - s + np) % np;
+    const int recv_block = (rank_ - s - 1 + np) % np;
+    sendrecv_bytes(to, tag + (s & 63),
+                   have_data ? o + offsets[static_cast<std::size_t>(send_block)] : nullptr,
+                   recv_counts[static_cast<std::size_t>(send_block)], from, tag + (s & 63),
+                   have_data ? o + offsets[static_cast<std::size_t>(recv_block)] : nullptr,
+                   recv_counts[static_cast<std::size_t>(recv_block)]);
+  }
+}
+
+std::unique_ptr<Comm> Comm::split(int color, int key) {
+  Job& job = *job_;
+  const sim::SimTime t0 = job.engine.now();
+  const int seq = coll_seq_;  // consumed by this split (barrier uses the next)
+  auto& board = job.split_board(comm_id_, seq);
+  board.push_back({color, key, rank_});
+  barrier();
+  {
+    CollGuard guard(job_->in_coll[static_cast<std::size_t>(world_rank_of(rank_))]);
+    // After the barrier every rank has registered; derive groups
+    // deterministically (identical on all ranks).
+    std::vector<std::array<int, 3>> mine;
+    for (const auto& e : board) {
+      if (e[0] == color) mine.push_back(e);
+    }
+    std::sort(mine.begin(), mine.end(), [](const auto& a, const auto& b) {
+      return std::tie(a[1], a[2]) < std::tie(b[1], b[2]);
+    });
+    // Distinct colors sorted -> stable color index for comm-id allocation.
+    std::vector<int> colors;
+    for (const auto& e : board) colors.push_back(e[0]);
+    std::sort(colors.begin(), colors.end());
+    colors.erase(std::unique(colors.begin(), colors.end()), colors.end());
+    const int color_index = static_cast<int>(
+        std::lower_bound(colors.begin(), colors.end(), color) - colors.begin());
+    const int new_id = job.split_comm_id(comm_id_, seq, color_index);
+
+    std::vector<int> group;
+    int my_new_rank = -1;
+    for (std::size_t idx = 0; idx < mine.size(); ++idx) {
+      group.push_back(world_rank_of(mine[idx][2]));
+      if (mine[idx][2] == rank_) my_new_rank = static_cast<int>(idx);
+    }
+    job.recorders[static_cast<std::size_t>(world_rank_of(rank_))].add_mpi(
+        ipm::CallKind::Split, 0, job.engine.now() - t0, 0.1);
+    return std::unique_ptr<Comm>(new Comm(job, new_id, std::move(group), my_new_rank));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// RankEnv.
+// ---------------------------------------------------------------------------
+
+RankEnv::RankEnv(Job& job, int world_rank)
+    : job_(&job),
+      world_rank_(world_rank),
+      recorder_(&job.recorders[static_cast<std::size_t>(world_rank)]),
+      rng_(sim::Rng(job.config.seed).fork(0xE44 + static_cast<std::uint64_t>(world_rank))) {
+  std::vector<int> identity(static_cast<std::size_t>(job.config.np));
+  for (int r = 0; r < job.config.np; ++r) identity[static_cast<std::size_t>(r)] = r;
+  world_ = std::unique_ptr<Comm>(new Comm(job, /*comm_id=*/0, std::move(identity), world_rank));
+}
+
+int RankEnv::rank() const noexcept { return world_rank_; }
+int RankEnv::size() const noexcept { return job_->config.np; }
+
+void RankEnv::compute(double ref_seconds) {
+  if (ref_seconds <= 0) return;
+  const sim::SimTime t0 = job_->engine.now();
+  const sim::SimTime t = plat::compute_time(
+      job_->config.platform, job_->placement[static_cast<std::size_t>(world_rank_)],
+      job_->config.traits, ref_seconds, rng_);
+  job_->procs[static_cast<std::size_t>(world_rank_)]->advance(t);
+  recorder_->add_compute(t);
+  job_->record_span(world_rank_, t0, ipm::TraceEvent::Kind::Compute, ipm::CallKind::kCount, 0,
+                    -1);
+}
+
+void RankEnv::io_read(std::size_t bytes, bool open_file) {
+  const sim::SimTime t0 = job_->engine.now();
+  const sim::SimTime done = job_->fs.read(bytes, open_file);
+  sim::Process& proc = *job_->procs[static_cast<std::size_t>(world_rank_)];
+  if (done > t0) {
+    job_->engine.wake_at(proc, done);
+    proc.suspend();
+  }
+  recorder_->add_io(job_->engine.now() - t0);
+  job_->record_span(world_rank_, t0, ipm::TraceEvent::Kind::Io, ipm::CallKind::kCount, bytes,
+                    -1);
+}
+
+void RankEnv::io_write(std::size_t bytes, bool open_file) {
+  const sim::SimTime t0 = job_->engine.now();
+  const sim::SimTime done = job_->fs.write(bytes, open_file);
+  sim::Process& proc = *job_->procs[static_cast<std::size_t>(world_rank_)];
+  if (done > t0) {
+    job_->engine.wake_at(proc, done);
+    proc.suspend();
+  }
+  recorder_->add_io(job_->engine.now() - t0);
+  job_->record_span(world_rank_, t0, ipm::TraceEvent::Kind::Io, ipm::CallKind::kCount, bytes,
+                    -1);
+}
+
+bool RankEnv::execute() const noexcept { return job_->config.execute; }
+
+const plat::RankPlacement& RankEnv::placement() const noexcept {
+  return job_->placement[static_cast<std::size_t>(world_rank_)];
+}
+
+const plat::Platform& RankEnv::platform() const noexcept { return job_->config.platform; }
+
+void RankEnv::report(const std::string& key, double value) { job_->values[key] = value; }
+
+double RankEnv::now_seconds() const noexcept { return sim::to_seconds(job_->engine.now()); }
+
+// ---------------------------------------------------------------------------
+// Job launcher.
+// ---------------------------------------------------------------------------
+
+JobResult run_job(const JobConfig& config, const std::function<void(RankEnv&)>& body) {
+  if (config.np <= 0) throw std::invalid_argument("run_job: np must be positive");
+  Job job(config);
+  for (int r = 0; r < config.np; ++r) {
+    job.engine.spawn(config.name + "/rank" + std::to_string(r), [&job, &body, r](sim::Process& p) {
+      job.procs[static_cast<std::size_t>(r)] = &p;
+      RankEnv env(job, r);
+      body(env);
+      job.recorders[static_cast<std::size_t>(r)].finish(job.engine.now());
+    });
+  }
+  job.engine.run();
+
+  JobResult result;
+  result.ipm = ipm::JobReport(std::move(job.recorders));
+  result.elapsed_seconds = result.ipm.wall_seconds();
+  result.values = std::move(job.values);
+  result.trace = std::move(job.trace);
+  return result;
+}
+
+}  // namespace cirrus::mpi

@@ -1,0 +1,325 @@
+// minimpi: a message-passing library implemented over the cirrus simulator.
+//
+// Rank code is ordinary blocking C++ running on a simulator fiber; blocking
+// calls suspend the fiber and resume it when the operation completes in
+// virtual time. Point-to-point transfers use an eager protocol below the
+// configurable threshold and rendezvous (RTS/CTS) above it; collectives are
+// implemented as algorithms over point-to-point (binomial trees, recursive
+// doubling, rings, pairwise exchange), so their cost emerges from the
+// platform's network model rather than from closed-form formulas.
+//
+// Model mode: any data pointer may be null, in which case the library moves
+// *sized but dataless* messages — full timing, no payload. This is how the
+// paper-scale (class B / N320L70 / rabbit-heart) runs stay cheap while tests
+// run the same code paths with real data.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "ipm/ipm.hpp"
+#include "ipm/trace.hpp"
+#include "net/network.hpp"
+#include "platform/platform.hpp"
+#include "sim/engine.hpp"
+
+namespace cirrus::mpi {
+
+inline constexpr int kAnySource = -2;
+inline constexpr int kAnyTag = -2;
+
+/// Reduction operators for the typed collective wrappers.
+enum class Op { Sum, Max, Min, Prod };
+
+class Job;
+class Comm;
+class RankEnv;
+struct JobConfig;
+struct JobResult;
+JobResult run_job(const JobConfig& config, const std::function<void(RankEnv&)>& body);
+
+namespace detail {
+struct RequestState;
+/// Element-wise combine: acc[i] = op(acc[i], in[i]) over `bytes` of raw data.
+using Combiner = std::function<void(std::byte* acc, const std::byte* in, std::size_t bytes)>;
+template <typename T>
+Combiner combiner_for(Op op);
+}  // namespace detail
+
+/// Handle for a non-blocking operation. Copyable; wait() may be called once.
+class Request {
+ public:
+  Request() = default;
+  [[nodiscard]] bool valid() const noexcept { return state_ != nullptr; }
+
+ private:
+  friend class Comm;
+  explicit Request(std::shared_ptr<detail::RequestState> s) : state_(std::move(s)) {}
+  std::shared_ptr<detail::RequestState> state_;
+};
+
+/// A communicator bound to one rank (like an MPI communicator seen from one
+/// process). World communicators are created by the job launcher; split()
+/// derives sub-communicators.
+class Comm {
+ public:
+  [[nodiscard]] int rank() const noexcept { return rank_; }
+  [[nodiscard]] int size() const noexcept { return static_cast<int>(group_.size()); }
+
+  // ---- point to point, byte level (data may be null in model mode) ----
+  // Byte-level calls carry an explicit `_bytes` suffix so they can never be
+  // confused with the element-count typed wrappers below.
+  void send_bytes(int dst, int tag, const void* data, std::size_t bytes);
+  void recv_bytes(int src, int tag, void* data, std::size_t bytes);
+  Request isend_bytes(int dst, int tag, const void* data, std::size_t bytes);
+  Request irecv_bytes(int src, int tag, void* data, std::size_t bytes);
+  void wait(Request& req);
+  void waitall(std::span<Request> reqs);
+  /// Non-blocking check for a matching deliverable message (like MPI_Iprobe).
+  [[nodiscard]] bool iprobe(int src, int tag) const;
+  void sendrecv_bytes(int dst, int stag, const void* sdata, std::size_t sbytes, int src,
+                      int rtag, void* rdata, std::size_t rbytes);
+
+  // ---- typed point-to-point convenience (element counts) ----
+  template <typename T>
+  void send(int dst, int tag, const T* data, std::size_t n) {
+    send_bytes(dst, tag, static_cast<const void*>(data), n * sizeof(T));
+  }
+  template <typename T>
+  void recv(int src, int tag, T* data, std::size_t n) {
+    recv_bytes(src, tag, static_cast<void*>(data), n * sizeof(T));
+  }
+  template <typename T>
+  Request isend(int dst, int tag, const T* data, std::size_t n) {
+    return isend_bytes(dst, tag, static_cast<const void*>(data), n * sizeof(T));
+  }
+  template <typename T>
+  Request irecv(int src, int tag, T* data, std::size_t n) {
+    return irecv_bytes(src, tag, static_cast<void*>(data), n * sizeof(T));
+  }
+  template <typename T>
+  void sendrecv(int dst, int stag, const T* sdata, std::size_t sn, int src, int rtag, T* rdata,
+                std::size_t rn) {
+    sendrecv_bytes(dst, stag, sdata, sn * sizeof(T), src, rtag, rdata, rn * sizeof(T));
+  }
+
+  // ---- collectives (byte level core) ----
+  void barrier();
+  void bcast_bytes(void* data, std::size_t bytes, int root);
+  void reduce_bytes(const void* in, void* out, std::size_t bytes, int root,
+                    const detail::Combiner& op);
+  void allreduce_bytes(const void* in, void* out, std::size_t bytes,
+                       const detail::Combiner& op);
+  void allgather_bytes(const void* in, void* out, std::size_t bytes_each);
+  void alltoall_bytes(const void* in, void* out, std::size_t bytes_each);
+  /// counts are per-destination byte counts (size() entries on every rank).
+  void alltoallv_bytes(const void* in, std::span<const std::size_t> send_counts, void* out,
+                       std::span<const std::size_t> recv_counts);
+  void gather_bytes(const void* in, void* out, std::size_t bytes_each, int root);
+  void scatter_bytes(const void* in, void* out, std::size_t bytes_each, int root);
+  void reduce_scatter_block_bytes(const void* in, void* out, std::size_t bytes_each,
+                                  const detail::Combiner& op);
+  /// Inclusive prefix reduction: out on rank r = op(in_0, ..., in_r).
+  void scan_bytes(const void* in, void* out, std::size_t bytes, const detail::Combiner& op);
+  /// Variable-count allgather (ring): `recv_counts` has size() entries; `in`
+  /// holds this rank's recv_counts[rank()] bytes; `out` the concatenation.
+  void allgatherv_bytes(const void* in, void* out, std::span<const std::size_t> recv_counts);
+
+  // ---- typed collective wrappers ----
+  template <typename T>
+  void bcast(T* data, std::size_t n, int root) {
+    bcast_bytes(data, n * sizeof(T), root);
+  }
+  template <typename T>
+  void reduce(const T* in, T* out, std::size_t n, Op op, int root) {
+    reduce_bytes(in, out, n * sizeof(T), root, detail::combiner_for<T>(op));
+  }
+  template <typename T>
+  void allreduce(const T* in, T* out, std::size_t n, Op op) {
+    allreduce_bytes(in, out, n * sizeof(T), detail::combiner_for<T>(op));
+  }
+  template <typename T>
+  T allreduce_one(T value, Op op) {
+    T out{};
+    allreduce(&value, &out, 1, op);
+    return out;
+  }
+  template <typename T>
+  void allgather(const T* in, T* out, std::size_t n_each) {
+    allgather_bytes(in, out, n_each * sizeof(T));
+  }
+  template <typename T>
+  void scan(const T* in, T* out, std::size_t n, Op op) {
+    scan_bytes(in, out, n * sizeof(T), detail::combiner_for<T>(op));
+  }
+  template <typename T>
+  T scan_one(T value, Op op) {
+    T out{};
+    scan(&value, &out, 1, op);
+    return out;
+  }
+  template <typename T>
+  void alltoall(const T* in, T* out, std::size_t n_each) {
+    alltoall_bytes(in, out, n_each * sizeof(T));
+  }
+  template <typename T>
+  void gather(const T* in, T* out, std::size_t n_each, int root) {
+    gather_bytes(in, out, n_each * sizeof(T), root);
+  }
+  template <typename T>
+  void scatter(const T* in, T* out, std::size_t n_each, int root) {
+    scatter_bytes(in, out, n_each * sizeof(T), root);
+  }
+
+  /// Collective: partitions ranks by color (ranks ordered by key, ties by
+  /// parent rank). Returns this rank's sub-communicator.
+  std::unique_ptr<Comm> split(int color, int key);
+
+  /// True while this rank is executing inside a collective (its inner
+  /// point-to-point traffic is then not booked separately by IPM).
+  [[nodiscard]] bool in_collective() const noexcept;
+
+ private:
+  friend class Job;
+  friend class RankEnv;
+  Comm(Job& job, int comm_id, std::vector<int> group, int rank);
+
+  // Internals (implemented in minimpi.cpp).
+  void p2p_send(int dst, int tag, const void* data, std::size_t bytes, ipm::CallKind kind,
+                bool blocking, Request* out);
+  Request p2p_recv(int src, int tag, void* data, std::size_t bytes, ipm::CallKind kind,
+                   bool blocking);
+  void wait_internal(Request& req);
+  void alltoallv_impl(const void* in, std::span<const std::size_t> send_counts, void* out,
+                      std::span<const std::size_t> recv_counts);
+  void bcast_short(void* data, std::size_t bytes, int root);
+  [[nodiscard]] int world_rank_of(int r) const { return group_[static_cast<std::size_t>(r)]; }
+  int next_tag() noexcept;
+
+  Job* job_;
+  int comm_id_;
+  std::vector<int> group_;  // comm rank -> world rank
+  int rank_;                // my rank within this comm
+  int coll_seq_ = 0;        // per-rank collective sequence (consistent by MPI rules)
+};
+
+/// Traits + placement + profiling facade handed to each rank's body.
+class RankEnv {
+ public:
+  [[nodiscard]] Comm& world() noexcept { return *world_; }
+  [[nodiscard]] int rank() const noexcept;
+  [[nodiscard]] int size() const noexcept;
+
+  /// Charges `ref_seconds` of reference computation (DCC-core seconds),
+  /// converted by the platform compute model.
+  void compute(double ref_seconds);
+  /// Reads/writes `bytes` on the job's shared filesystem.
+  void io_read(std::size_t bytes, bool open_file = false);
+  void io_write(std::size_t bytes, bool open_file = false);
+
+  [[nodiscard]] ipm::RankRecorder& ipm() noexcept { return *recorder_; }
+  [[nodiscard]] sim::Rng& rng() noexcept { return rng_; }
+  /// True when the workload should run its real math (execute mode).
+  [[nodiscard]] bool execute() const noexcept;
+  [[nodiscard]] const plat::RankPlacement& placement() const noexcept;
+  [[nodiscard]] const plat::Platform& platform() const noexcept;
+
+  /// Records a named scalar result (last writer wins; typically rank 0).
+  void report(const std::string& key, double value);
+
+  /// Current virtual time in seconds (the job's clock).
+  [[nodiscard]] double now_seconds() const noexcept;
+
+ private:
+  friend class Job;
+  friend JobResult run_job(const JobConfig& config, const std::function<void(RankEnv&)>& body);
+  RankEnv(Job& job, int world_rank);
+  Job* job_;
+  int world_rank_;
+  std::unique_ptr<Comm> world_;
+  ipm::RankRecorder* recorder_;
+  sim::Rng rng_;
+};
+
+/// Everything needed to launch a simulated MPI job.
+struct JobConfig {
+  plat::Platform platform;
+  int np = 1;
+  /// Cap on ranks per node (-1: fill every hardware thread). The paper's
+  /// "EC2-4" runs use np/4 here to spread over 4 nodes.
+  int max_ranks_per_node = -1;
+  plat::WorkloadTraits traits;
+  std::uint64_t seed = 1;
+  /// Below/equal: eager protocol; above: rendezvous.
+  std::size_t eager_threshold_bytes = 16 * 1024;
+  /// Collective algorithm selection (like an MPI tuning file).
+  enum class AllgatherAlgo { Auto, RecursiveDoubling, Ring };
+  AllgatherAlgo allgather_algo = AllgatherAlgo::Auto;
+  /// Broadcasts larger than this use scatter + allgather (van de Geijn)
+  /// instead of the binomial tree. 0: always binomial.
+  std::size_t bcast_long_threshold_bytes = 512 * 1024;
+  /// Record a span trace of every compute/MPI/I-O operation (see
+  /// ipm::Trace::to_chrome_json). Costs memory proportional to event count.
+  bool enable_trace = false;
+  /// Run the real math inside workloads (tests) or charge time only (paper
+  /// scale)?
+  bool execute = true;
+  std::size_t fiber_stack_bytes = 1 << 20;
+  std::string name = "job";
+};
+
+/// Result of a simulated job.
+struct JobResult {
+  double elapsed_seconds = 0;  ///< job wall clock (virtual)
+  ipm::JobReport ipm;
+  std::map<std::string, double> values;  ///< app-reported scalars
+  /// Span trace (null unless JobConfig::enable_trace was set).
+  std::shared_ptr<const ipm::Trace> trace;
+};
+
+/// Launches `config.np` ranks running `body` and simulates to completion.
+/// Throws sim::DeadlockError on communication deadlock and propagates any
+/// exception raised inside rank bodies.
+JobResult run_job(const JobConfig& config, const std::function<void(RankEnv&)>& body);
+
+// ---- implementation of typed combiner factory ----
+namespace detail {
+template <typename T>
+Combiner combiner_for(Op op) {
+  switch (op) {
+    case Op::Sum:
+      return [](std::byte* a, const std::byte* b, std::size_t bytes) {
+        auto* x = reinterpret_cast<T*>(a);
+        auto* y = reinterpret_cast<const T*>(b);
+        for (std::size_t i = 0; i < bytes / sizeof(T); ++i) x[i] += y[i];
+      };
+    case Op::Prod:
+      return [](std::byte* a, const std::byte* b, std::size_t bytes) {
+        auto* x = reinterpret_cast<T*>(a);
+        auto* y = reinterpret_cast<const T*>(b);
+        for (std::size_t i = 0; i < bytes / sizeof(T); ++i) x[i] *= y[i];
+      };
+    case Op::Max:
+      return [](std::byte* a, const std::byte* b, std::size_t bytes) {
+        auto* x = reinterpret_cast<T*>(a);
+        auto* y = reinterpret_cast<const T*>(b);
+        for (std::size_t i = 0; i < bytes / sizeof(T); ++i) x[i] = x[i] < y[i] ? y[i] : x[i];
+      };
+    case Op::Min:
+      return [](std::byte* a, const std::byte* b, std::size_t bytes) {
+        auto* x = reinterpret_cast<T*>(a);
+        auto* y = reinterpret_cast<const T*>(b);
+        for (std::size_t i = 0; i < bytes / sizeof(T); ++i) x[i] = y[i] < x[i] ? y[i] : x[i];
+      };
+  }
+  return {};
+}
+}  // namespace detail
+
+}  // namespace cirrus::mpi

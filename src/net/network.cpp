@@ -1,0 +1,108 @@
+#include "net/network.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace cirrus::net {
+
+Network::Network(sim::Engine& engine, const plat::Platform& platform, int nodes,
+                 std::uint64_t seed)
+    : engine_(engine),
+      platform_(platform),
+      tx_free_(static_cast<std::size_t>(std::max(1, nodes)), 0),
+      rx_free_(static_cast<std::size_t>(std::max(1, nodes)), 0),
+      rx_last_src_(static_cast<std::size_t>(std::max(1, nodes)), -1),
+      rng_(sim::Rng(seed).fork(0x4E7)) {}
+
+sim::SimTime Network::wire_latency(bool internode) {
+  if (!internode) return sim::from_micros(platform_.shm.latency_us);
+  double us = platform_.nic.latency_us;
+  if (platform_.nic.jitter_prob > 0.0 && rng_.chance(platform_.nic.jitter_prob)) {
+    us += rng_.exponential(platform_.nic.jitter_mean_us);
+  }
+  return sim::from_micros(us);
+}
+
+TransferTiming Network::transfer(int src_node, int dst_node, std::size_t bytes) {
+  const sim::SimTime now = engine_.now();
+  const sim::SimTime overhead = sim::from_micros(platform_.nic.per_msg_overhead_us);
+
+  if (src_node == dst_node) {
+    // Shared-memory transport: a copy at shm bandwidth after a small latency.
+    const sim::SimTime copy =
+        sim::from_seconds(static_cast<double>(bytes) / platform_.shm.bandwidth_Bps);
+    const sim::SimTime lat = wire_latency(/*internode=*/false);
+    // The sender performs the copy (one-copy shared-memory protocol).
+    return TransferTiming{.sender_free = now + copy, .arrival = now + copy + lat};
+  }
+
+  assert(src_node >= 0 && static_cast<std::size_t>(src_node) < tx_free_.size());
+  assert(dst_node >= 0 && static_cast<std::size_t>(dst_node) < rx_free_.size());
+
+  sim::SimTime busy =
+      sim::from_seconds(static_cast<double>(bytes) / platform_.nic.bandwidth_Bps);
+
+  // On half-duplex platforms (software-switched vNICs) one packet-processing
+  // resource serves both directions, so RX traffic queues behind TX traffic
+  // on the same node and vice versa.
+  const bool hd = platform_.nic.half_duplex;
+  auto& src_tx = tx_free_[static_cast<std::size_t>(src_node)];
+  auto& src_rx = rx_free_[static_cast<std::size_t>(src_node)];
+  auto& dst_tx = tx_free_[static_cast<std::size_t>(dst_node)];
+  auto& dst_rx = rx_free_[static_cast<std::size_t>(dst_node)];
+
+  // TX port: FIFO serialisation of outgoing transfers from this node.
+  const sim::SimTime tx_start =
+      std::max(now + overhead, hd ? std::max(src_tx, src_rx) : src_tx);
+  const sim::SimTime tx_end = tx_start + busy;
+  src_tx = tx_end;
+  if (hd) src_rx = tx_end;
+
+  // Wire: base latency + jitter; cut-through, so the head of the message
+  // reaches the RX port one latency after TX starts.
+  const sim::SimTime lat = wire_latency(/*internode=*/true);
+
+  // RX port: the message occupies the receive port for `busy`; concurrent
+  // senders to the same node queue here. When the port is still busy with a
+  // transfer from a *different* node, the interleaving of flows degrades
+  // service (incast / fabric congestion under all-to-all traffic).
+  const sim::SimTime head = tx_start + lat;
+  auto& last_src = rx_last_src_[static_cast<std::size_t>(dst_node)];
+  if (platform_.nic.incast_penalty > 1.0 && head < dst_rx && last_src != src_node &&
+      last_src >= 0) {
+    busy = static_cast<sim::SimTime>(static_cast<double>(busy) * platform_.nic.incast_penalty);
+  }
+  last_src = src_node;
+  const sim::SimTime rx_start = std::max(head, hd ? std::max(dst_tx, dst_rx) : dst_rx);
+  const sim::SimTime rx_end = rx_start + busy;
+  dst_rx = rx_end;
+  if (hd) dst_tx = rx_end;
+
+  return TransferTiming{.sender_free = tx_end, .arrival = rx_end};
+}
+
+sim::SimTime Network::control_delay(int src_node, int dst_node) {
+  return wire_latency(src_node != dst_node);
+}
+
+FileSystem::FileSystem(sim::Engine& engine, const plat::FsModel& model)
+    : engine_(engine), model_(model) {}
+
+sim::SimTime FileSystem::request(std::size_t bytes, double bw_Bps, bool open_file) {
+  const sim::SimTime now = engine_.now();
+  sim::SimTime service = sim::from_seconds(static_cast<double>(bytes) / bw_Bps);
+  if (open_file) service += sim::from_seconds(model_.open_latency_ms * 1e-3);
+  const sim::SimTime start = std::max(now, server_free_);
+  server_free_ = start + service;
+  return server_free_;
+}
+
+sim::SimTime FileSystem::read(std::size_t bytes, bool open_file) {
+  return request(bytes, model_.read_Bps, open_file);
+}
+
+sim::SimTime FileSystem::write(std::size_t bytes, bool open_file) {
+  return request(bytes, model_.write_Bps, open_file);
+}
+
+}  // namespace cirrus::net

@@ -1,0 +1,93 @@
+// Network cost models for the cirrus simulator.
+//
+// A message between two ranks is priced by a LogGP-style model with explicit
+// resource contention:
+//
+//   * inter-node: the sender's NIC TX port is a serial resource (transfers
+//     queue FIFO); the wire adds base latency plus an optional heavy-tailed
+//     jitter spike (vSwitch / hypervisor packet processing); the receiver's
+//     NIC RX port is a second serial resource, which is what makes incast
+//     patterns (all-to-all roots) queue up realistically. Transfers are
+//     cut-through: a single stream achieves the full link bandwidth.
+//   * intra-node: a shared-memory copy at the platform's shm bandwidth and
+//     latency; no NIC involvement.
+//
+// The shared filesystem is modelled as one serial server per job with
+// separate read/write bandwidths and a per-open latency (NFS vs Lustre).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "platform/platform.hpp"
+#include "sim/engine.hpp"
+#include "sim/rng.hpp"
+#include "sim/time.hpp"
+
+namespace cirrus::net {
+
+/// Timing of one message as decided by the network model.
+struct TransferTiming {
+  /// Virtual time at which the sender's CPU is free again (injection done).
+  sim::SimTime sender_free;
+  /// Virtual time at which the full payload is available at the receiver.
+  sim::SimTime arrival;
+};
+
+/// Per-job network state: NIC port availability and the jitter process.
+class Network {
+ public:
+  /// `nodes` is the number of nodes the job spans.
+  Network(sim::Engine& engine, const plat::Platform& platform, int nodes, std::uint64_t seed);
+
+  /// Prices a `bytes`-byte message from `src_node` to `dst_node` starting at
+  /// the current virtual time, reserving NIC resources. Call exactly once
+  /// per simulated wire transfer, in virtual-time order.
+  TransferTiming transfer(int src_node, int dst_node, std::size_t bytes);
+
+  /// Prices a small control message (rendezvous RTS/CTS): latency-only, no
+  /// NIC bandwidth reservation.
+  sim::SimTime control_delay(int src_node, int dst_node);
+
+  [[nodiscard]] const plat::Platform& platform() const noexcept { return platform_; }
+
+  /// Fraction of communication time that IPM should book as system time for
+  /// a transfer between these nodes.
+  [[nodiscard]] double sys_frac(int src_node, int dst_node) const noexcept {
+    return src_node == dst_node ? 0.05 : platform_.nic.sys_frac;
+  }
+
+ private:
+  sim::SimTime wire_latency(bool internode);
+
+  sim::Engine& engine_;
+  plat::Platform platform_;
+  std::vector<sim::SimTime> tx_free_;  // per node
+  std::vector<sim::SimTime> rx_free_;  // per node
+  std::vector<int> rx_last_src_;       // source node of each RX port's occupant
+  sim::Rng rng_;
+};
+
+/// A shared filesystem server: reads/writes are FIFO-serialised, modelling
+/// a single NFS server or a Lustre OSS set (the latter just has much higher
+/// bandwidth). One instance per job.
+class FileSystem {
+ public:
+  FileSystem(sim::Engine& engine, const plat::FsModel& model);
+
+  /// Returns the virtual time at which a read of `bytes` issued now
+  /// completes (reserving the server). `open_file` adds the per-open cost.
+  sim::SimTime read(std::size_t bytes, bool open_file);
+  sim::SimTime write(std::size_t bytes, bool open_file);
+
+  [[nodiscard]] const plat::FsModel& model() const noexcept { return model_; }
+
+ private:
+  sim::SimTime request(std::size_t bytes, double bw_Bps, bool open_file);
+
+  sim::Engine& engine_;
+  plat::FsModel model_;
+  sim::SimTime server_free_ = 0;
+};
+
+}  // namespace cirrus::net

@@ -1,0 +1,323 @@
+// NPB MG: V-cycle multigrid on a 3-D periodic grid.
+//
+// Genuine implementation with a simplified operator set (7-point Laplacian,
+// damped-Jacobi smoother, 8-point full-weighting restriction, injection
+// prolongation — NPB's exact 27-point stencils are not needed to reproduce
+// the benchmark's communication structure or its convergence behaviour).
+// Decomposition: 3-D processor grid; every smoother/residual/transfer step
+// does a 6-face halo exchange at that level (NPB's comm3), so message sizes
+// shrink with grid level exactly as in the original.
+//
+// Verification: the residual norm must drop by at least 2x over the run and
+// be rank-count invariant (checked by the test suite).
+#include <array>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "npb/npb.hpp"
+#include "npb/randlc.hpp"
+
+namespace cirrus::npb {
+
+namespace {
+
+struct MgParams {
+  int n;     // grid is n^3
+  int niter;
+};
+
+MgParams mg_params(Class cls) {
+  switch (cls) {
+    case Class::T: return {16, 2};
+    case Class::S: return {32, 4};
+    case Class::W: return {128, 4};
+    case Class::A: return {256, 4};
+    case Class::B: return {256, 20};
+    case Class::C: return {512, 20};
+  }
+  return {32, 4};
+}
+
+/// Near-cubic power-of-two processor grid.
+std::array<int, 3> proc_grid(int np) {
+  std::array<int, 3> dims{1, 1, 1};
+  int k = 0;
+  while ((1 << k) < np) ++k;
+  for (int i = 0; i < k; ++i) dims[static_cast<std::size_t>(i % 3)] *= 2;
+  return dims;
+}
+
+/// One grid level owned by a rank: interior (lx,ly,lz) plus 1-cell halos.
+struct Level {
+  int n = 0;            // global edge length at this level
+  int lx = 0, ly = 0, lz = 0;
+  std::vector<double> u, r, rhs;
+
+  [[nodiscard]] std::size_t at(int i, int j, int k) const {
+    return (static_cast<std::size_t>(i) * static_cast<std::size_t>(ly + 2) +
+            static_cast<std::size_t>(j)) *
+               static_cast<std::size_t>(lz + 2) +
+           static_cast<std::size_t>(k);
+  }
+  [[nodiscard]] std::size_t cells() const {
+    return static_cast<std::size_t>(lx + 2) * static_cast<std::size_t>(ly + 2) *
+           static_cast<std::size_t>(lz + 2);
+  }
+};
+
+}  // namespace
+
+BenchResult run_mg(mpi::RankEnv& env, Class cls) {
+  auto& comm = env.world();
+  const int np = comm.size();
+  const int rank = comm.rank();
+  if ((np & (np - 1)) != 0) throw std::invalid_argument("MG requires power-of-two np");
+  const auto prm = mg_params(cls);
+  const auto dims = proc_grid(np);
+  const int px = dims[0], py = dims[1], pz = dims[2];
+  const int cx = rank / (py * pz);
+  const int cy = (rank / pz) % py;
+  const int cz = rank % pz;
+  const bool exec = env.execute();
+  const double ref_iter = benchmark("MG").ref_seconds(cls) / prm.niter;
+  const double my_share = 1.0 / np;
+
+  // Build the level hierarchy: stop when a local dimension would drop
+  // below 2 cells.
+  std::vector<Level> levels;
+  for (int n = prm.n; n / px >= 2 && n / py >= 2 && n / pz >= 2; n /= 2) {
+    Level lv;
+    lv.n = n;
+    lv.lx = n / px;
+    lv.ly = n / py;
+    lv.lz = n / pz;
+    if (exec) {
+      lv.u.assign(lv.cells(), 0.0);
+      lv.r.assign(lv.cells(), 0.0);
+      lv.rhs.assign(lv.cells(), 0.0);
+    }
+    levels.push_back(std::move(lv));
+  }
+  const int nlevels = static_cast<int>(levels.size());
+  if (nlevels == 0) throw std::invalid_argument("MG grid too small for this np");
+
+  auto rank_of = [&](int x, int y, int z) {
+    const int wx = (x + px) % px;
+    const int wy = (y + py) % py;
+    const int wz = (z + pz) % pz;
+    return (wx * py + wy) * pz + wz;
+  };
+
+  // 6-face halo exchange at a level (NPB comm3). Self-neighbours (a
+  // dimension with one process) are periodic local copies, as in NPB.
+  std::vector<double> face_send, face_recv;
+  auto comm3 = [&](Level& lv, std::vector<double>& a) {
+    for (const int dim : {0, 1, 2}) {
+      const int pcount = dim == 0 ? px : (dim == 1 ? py : pz);
+      const int len0 = dim == 0 ? lv.lx : (dim == 1 ? lv.ly : lv.lz);
+      // Interior face size: product of the other two local extents.
+      const std::size_t fsz =
+          dim == 0 ? static_cast<std::size_t>(lv.ly) * static_cast<std::size_t>(lv.lz)
+          : dim == 1 ? static_cast<std::size_t>(lv.lx) * static_cast<std::size_t>(lv.lz)
+                     : static_cast<std::size_t>(lv.lx) * static_cast<std::size_t>(lv.ly);
+      const int nb_lo =
+          dim == 0 ? rank_of(cx - 1, cy, cz) : (dim == 1 ? rank_of(cx, cy - 1, cz) : rank_of(cx, cy, cz - 1));
+      const int nb_hi =
+          dim == 0 ? rank_of(cx + 1, cy, cz) : (dim == 1 ? rank_of(cx, cy + 1, cz) : rank_of(cx, cy, cz + 1));
+      auto pack_plane = [&](int pos, std::vector<double>& buf) {
+        buf.clear();
+        if (!exec) return;
+        for (int j = 1; j <= lv.ly; ++j) {
+          for (int k = 1; k <= lv.lz; ++k) {
+            if (dim == 0) buf.push_back(a[lv.at(pos, j, k)]);
+          }
+        }
+        for (int i = 1; i <= lv.lx; ++i) {
+          for (int k = 1; k <= lv.lz; ++k) {
+            if (dim == 1) buf.push_back(a[lv.at(i, pos, k)]);
+          }
+          for (int j = 1; j <= lv.ly; ++j) {
+            if (dim == 2) buf.push_back(a[lv.at(i, j, pos)]);
+          }
+        }
+      };
+      auto unpack_plane = [&](int pos, const std::vector<double>& buf) {
+        if (!exec) return;
+        std::size_t o = 0;
+        if (dim == 0) {
+          for (int j = 1; j <= lv.ly; ++j) {
+            for (int k = 1; k <= lv.lz; ++k) a[lv.at(pos, j, k)] = buf[o++];
+          }
+        } else if (dim == 1) {
+          for (int i = 1; i <= lv.lx; ++i) {
+            for (int k = 1; k <= lv.lz; ++k) a[lv.at(i, pos, k)] = buf[o++];
+          }
+        } else {
+          for (int i = 1; i <= lv.lx; ++i) {
+            for (int j = 1; j <= lv.ly; ++j) a[lv.at(i, j, pos)] = buf[o++];
+          }
+        }
+      };
+      const std::size_t bytes = fsz * sizeof(double);
+      if (pcount == 1) {
+        // Periodic wrap within this rank: local copy, no messages.
+        if (exec) {
+          pack_plane(len0, face_send);
+          unpack_plane(0, face_send);
+          pack_plane(1, face_send);
+          unpack_plane(len0 + 1, face_send);
+        }
+        continue;
+      }
+      // Send high face to hi neighbour / receive low halo, then converse.
+      pack_plane(len0, face_send);
+      face_recv.assign(exec ? fsz : 0, 0.0);
+      comm.sendrecv_bytes(nb_hi, 31, exec ? face_send.data() : nullptr, bytes, nb_lo, 31,
+                    exec ? face_recv.data() : nullptr, bytes);
+      unpack_plane(0, face_recv);
+      pack_plane(1, face_send);
+      comm.sendrecv_bytes(nb_lo, 32, exec ? face_send.data() : nullptr, bytes, nb_hi, 32,
+                    exec ? face_recv.data() : nullptr, bytes);
+      unpack_plane(len0 + 1, face_recv);
+    }
+  };
+
+  // --- operators (execute mode only; the halo exchange is always done) ---
+  auto smooth = [&](Level& lv) {  // damped Jacobi on A u = rhs
+    comm3(lv, lv.u);
+    if (!exec) return;
+    const double h2 = 1.0;  // scaled operator; absolute scale is irrelevant
+    std::vector<double> nu(lv.u.size());
+    for (int i = 1; i <= lv.lx; ++i) {
+      for (int j = 1; j <= lv.ly; ++j) {
+        for (int k = 1; k <= lv.lz; ++k) {
+          const double nb = lv.u[lv.at(i - 1, j, k)] + lv.u[lv.at(i + 1, j, k)] +
+                            lv.u[lv.at(i, j - 1, k)] + lv.u[lv.at(i, j + 1, k)] +
+                            lv.u[lv.at(i, j, k - 1)] + lv.u[lv.at(i, j, k + 1)];
+          const double jac = (lv.rhs[lv.at(i, j, k)] * h2 + nb) / 6.0;
+          nu[lv.at(i, j, k)] = 0.2 * lv.u[lv.at(i, j, k)] + 0.8 * jac;
+        }
+      }
+    }
+    lv.u.swap(nu);
+  };
+  auto residual = [&](Level& lv) {  // r = rhs - A u
+    comm3(lv, lv.u);
+    if (!exec) return;
+    for (int i = 1; i <= lv.lx; ++i) {
+      for (int j = 1; j <= lv.ly; ++j) {
+        for (int k = 1; k <= lv.lz; ++k) {
+          const double au = 6.0 * lv.u[lv.at(i, j, k)] - lv.u[lv.at(i - 1, j, k)] -
+                            lv.u[lv.at(i + 1, j, k)] - lv.u[lv.at(i, j - 1, k)] -
+                            lv.u[lv.at(i, j + 1, k)] - lv.u[lv.at(i, j, k - 1)] -
+                            lv.u[lv.at(i, j, k + 1)];
+          lv.r[lv.at(i, j, k)] = lv.rhs[lv.at(i, j, k)] - au;
+        }
+      }
+    }
+  };
+  auto restrict_to = [&](Level& fine, Level& coarse) {
+    comm3(fine, fine.r);
+    if (!exec) return;
+    for (int i = 1; i <= coarse.lx; ++i) {
+      for (int j = 1; j <= coarse.ly; ++j) {
+        for (int k = 1; k <= coarse.lz; ++k) {
+          double s = 0;
+          for (int di = 0; di < 2; ++di) {
+            for (int dj = 0; dj < 2; ++dj) {
+              for (int dk = 0; dk < 2; ++dk) {
+                s += fine.r[fine.at(2 * i - 1 + di, 2 * j - 1 + dj, 2 * k - 1 + dk)];
+              }
+            }
+          }
+          coarse.rhs[coarse.at(i, j, k)] = s / 8.0;
+          coarse.u[coarse.at(i, j, k)] = 0.0;
+        }
+      }
+    }
+  };
+  auto prolongate_add = [&](Level& coarse, Level& fine) {
+    comm3(coarse, coarse.u);
+    if (!exec) return;
+    for (int i = 1; i <= coarse.lx; ++i) {
+      for (int j = 1; j <= coarse.ly; ++j) {
+        for (int k = 1; k <= coarse.lz; ++k) {
+          const double v = coarse.u[coarse.at(i, j, k)];
+          for (int di = 0; di < 2; ++di) {
+            for (int dj = 0; dj < 2; ++dj) {
+              for (int dk = 0; dk < 2; ++dk) {
+                fine.u[fine.at(2 * i - 1 + di, 2 * j - 1 + dj, 2 * k - 1 + dk)] += v;
+              }
+            }
+          }
+        }
+      }
+    }
+  };
+  auto norm2 = [&](Level& lv) {
+    double s = 0;
+    if (exec) {
+      for (int i = 1; i <= lv.lx; ++i) {
+        for (int j = 1; j <= lv.ly; ++j) {
+          for (int k = 1; k <= lv.lz; ++k) s += lv.r[lv.at(i, j, k)] * lv.r[lv.at(i, j, k)];
+        }
+      }
+    }
+    return std::sqrt(comm.allreduce_one(s, mpi::Op::Sum));
+  };
+
+  // --- rhs: +1/-1 at 20 deterministic pseudo-random global points ---
+  if (exec) {
+    double tran = kRandlcSeed;
+    for (int pt = 0; pt < 20; ++pt) {
+      const int gx = static_cast<int>(randlc(tran, kRandlcA) * prm.n);
+      const int gy = static_cast<int>(randlc(tran, kRandlcA) * prm.n);
+      const int gz = static_cast<int>(randlc(tran, kRandlcA) * prm.n);
+      const double val = pt < 10 ? 1.0 : -1.0;
+      Level& f = levels[0];
+      const int ox = cx * f.lx, oy = cy * f.ly, oz = cz * f.lz;
+      if (gx >= ox && gx < ox + f.lx && gy >= oy && gy < oy + f.ly && gz >= oz &&
+          gz < oz + f.lz) {
+        f.rhs[f.at(gx - ox + 1, gy - oy + 1, gz - oz + 1)] = val;
+      }
+    }
+    levels[0].r = levels[0].rhs;  // u = 0 -> r = rhs
+  }
+
+  const double norm0 = exec ? norm2(levels[0]) : 0.0;
+  double norm_final = norm0;
+
+  // Work split per V-cycle phase: level l holds 8^-l of the cells.
+  const double geo = 8.0 / 7.0;  // sum of 8^-l
+  for (int iter = 0; iter < prm.niter; ++iter) {
+    // Down sweep.
+    residual(levels[0]);
+    for (int l = 0; l + 1 < nlevels; ++l) {
+      restrict_to(levels[static_cast<std::size_t>(l)], levels[static_cast<std::size_t>(l) + 1]);
+      env.compute(ref_iter * my_share / geo * std::pow(8.0, -l) * 0.2);
+    }
+    // Coarsest solve: a few smoothing sweeps.
+    for (int s = 0; s < 4; ++s) smooth(levels[static_cast<std::size_t>(nlevels) - 1]);
+    // Up sweep.
+    for (int l = nlevels - 2; l >= 0; --l) {
+      prolongate_add(levels[static_cast<std::size_t>(l) + 1], levels[static_cast<std::size_t>(l)]);
+      smooth(levels[static_cast<std::size_t>(l)]);
+      smooth(levels[static_cast<std::size_t>(l)]);
+      env.compute(ref_iter * my_share / geo * std::pow(8.0, -l) * 0.8);
+    }
+    residual(levels[0]);
+    norm_final = norm2(levels[0]);
+  }
+
+  BenchResult result;
+  result.name = "MG";
+  result.cls = cls;
+  result.np = np;
+  result.verification_value = norm_final;
+  result.verified = exec ? (norm_final < 0.5 * norm0 && std::isfinite(norm_final)) : true;
+  if (rank == 0) env.report("mg_rnorm", norm_final);
+  return result;
+}
+
+}  // namespace cirrus::npb

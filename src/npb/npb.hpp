@@ -1,0 +1,84 @@
+// Common definitions for the cirrus port of the NAS Parallel Benchmarks
+// (MPI, v3.3 semantics).
+//
+// EP, CG, FT, IS and MG are genuine implementations: real math, NPB random
+// streams, NPB problem classes, verification. BT, SP and LU are structural
+// pseudo-applications: real (but simplified, scalar-tridiagonal / SSOR)
+// line solves on the real decompositions with the real per-iteration message
+// pattern; their verification is rank-count invariance of residuals (see
+// DESIGN.md for the substitution rationale).
+//
+// Every benchmark runs in two modes, selected by the job's `execute` flag:
+//   * execute: the math really runs (tests; small classes), AND virtual
+//     compute time is charged;
+//   * model: only the virtual time and the real message pattern (paper-scale
+//     class B runs).
+//
+// Timing calibration: the per-(benchmark, class) serial reference work is
+// expressed in DCC-core seconds; class B values are the paper's Figure 3
+// absolute DCC walltimes.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "mpi/minimpi.hpp"
+#include "platform/platform.hpp"
+
+namespace cirrus::npb {
+
+/// NPB problem classes, plus a tiny 'T' (test) class of our own for fast
+/// unit tests.
+enum class Class : char { T = 'T', S = 'S', W = 'W', A = 'A', B = 'B', C = 'C' };
+
+Class class_from_char(char c);
+char to_char(Class c);
+
+/// Result of one benchmark execution on one rank set.
+struct BenchResult {
+  std::string name;       ///< "EP", "CG", ...
+  Class cls = Class::S;
+  int np = 1;
+  bool verified = false;  ///< only meaningful in execute mode
+  double verification_value = 0.0;  ///< benchmark-specific scalar (zeta, checksum...)
+};
+
+/// A benchmark kernel: runs inside a rank fiber.
+using BenchFn = BenchResult (*)(mpi::RankEnv& env, Class cls);
+
+struct BenchmarkInfo {
+  std::string name;
+  BenchFn fn = nullptr;
+  plat::WorkloadTraits traits;          ///< memory intensity for the compute model
+  std::vector<int> valid_np;            ///< the np values of the paper's Fig 4 sweep
+  /// Serial reference walltime on DCC (seconds), per class (index by class).
+  double ref_seconds(Class cls) const;
+  double ref_class_b = 1.0;
+};
+
+/// All eight benchmarks in the paper's Fig 3 order (BT EP CG FT IS LU MG SP).
+const std::vector<BenchmarkInfo>& all_benchmarks();
+const BenchmarkInfo& benchmark(const std::string& name);
+
+// Individual kernels (exposed for direct use and unit tests).
+BenchResult run_ep(mpi::RankEnv& env, Class cls);
+BenchResult run_is(mpi::RankEnv& env, Class cls);
+BenchResult run_cg(mpi::RankEnv& env, Class cls);
+BenchResult run_ft(mpi::RankEnv& env, Class cls);
+BenchResult run_mg(mpi::RankEnv& env, Class cls);
+BenchResult run_bt(mpi::RankEnv& env, Class cls);
+BenchResult run_sp(mpi::RankEnv& env, Class cls);
+BenchResult run_lu(mpi::RankEnv& env, Class cls);
+
+/// Builds a JobConfig for running `bench` at class `cls` on `np` ranks of
+/// `platform` (block placement, execute flag per `execute`).
+mpi::JobConfig make_job(const BenchmarkInfo& bench, Class cls, const plat::Platform& platform,
+                        int np, bool execute, std::uint64_t seed = 1);
+
+/// Convenience: run a benchmark end-to-end; the returned JobResult's values
+/// map carries "verified" (0/1) and the verification value, and elapsed
+/// virtual seconds is the benchmark walltime.
+mpi::JobResult run_benchmark(const std::string& name, Class cls, const plat::Platform& platform,
+                             int np, bool execute, std::uint64_t seed = 1);
+
+}  // namespace cirrus::npb

@@ -1,0 +1,65 @@
+#include "npb/randlc.hpp"
+
+namespace cirrus::npb {
+
+namespace {
+constexpr double r23 = 0x1p-23;
+constexpr double r46 = 0x1p-46;
+constexpr double t23 = 0x1p23;
+constexpr double t46 = 0x1p46;
+}  // namespace
+
+double randlc(double& x, double a) {
+  // Break a and x into 23-bit halves: a = 2^23*a1 + a2, x = 2^23*x1 + x2.
+  double t1 = r23 * a;
+  const double a1 = static_cast<double>(static_cast<long long>(t1));
+  const double a2 = a - t23 * a1;
+
+  t1 = r23 * x;
+  const double x1 = static_cast<double>(static_cast<long long>(t1));
+  const double x2 = x - t23 * x1;
+
+  // z = a1*x2 + a2*x1 (mod 2^23); x = 2^23*z + a2*x2 (mod 2^46).
+  t1 = a1 * x2 + a2 * x1;
+  const double t2 = static_cast<double>(static_cast<long long>(r23 * t1));
+  const double z = t1 - t23 * t2;
+  const double t3 = t23 * z + a2 * x2;
+  const double t4 = static_cast<double>(static_cast<long long>(r46 * t3));
+  x = t3 - t46 * t4;
+  return r46 * x;
+}
+
+void vranlc(int n, double& x, double a, double* y) {
+  for (int i = 0; i < n; ++i) y[i] = randlc(x, a);
+}
+
+double ipow46(double a, long long exponent) {
+  double result = 1.0;
+  if (exponent == 0) return result;
+  double q = a;
+  double r = 1.0;
+  long long n = exponent;
+  // Square-and-multiply in the mod-2^46 group (randlc(x, a) sets x <- a*x).
+  while (n > 1) {
+    const long long n2 = n / 2;
+    if (n2 * 2 == n) {
+      randlc(q, q);  // q <- q^2
+      n = n2;
+    } else {
+      randlc(r, q);  // r <- r*q
+      n = n - 1;
+    }
+  }
+  randlc(r, q);
+  return r;
+}
+
+double seek_seed(double seed, double a, long long offset) {
+  if (offset == 0) return seed;
+  const double an = ipow46(a, offset);
+  double x = seed;
+  randlc(x, an);
+  return x;
+}
+
+}  // namespace cirrus::npb

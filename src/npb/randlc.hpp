@@ -1,0 +1,30 @@
+// The NAS Parallel Benchmarks pseudo-random number generator.
+//
+// A linear congruential generator x_{k+1} = a * x_k (mod 2^46), implemented
+// in double precision exactly as specified by NPB (splitting operands into
+// 23-bit halves), so the generated streams are bit-identical to the
+// reference implementation. Seekability (ipow46) lets every rank jump to its
+// slice of the global stream, which is what makes our EP/IS/FT results
+// independent of the rank count.
+#pragma once
+
+namespace cirrus::npb {
+
+/// The standard NPB multiplier 5^13 and seed.
+inline constexpr double kRandlcA = 1220703125.0;
+inline constexpr double kRandlcSeed = 314159265.0;
+
+/// Advances x <- a*x mod 2^46 and returns 2^-46 * x (uniform in (0,1)).
+double randlc(double& x, double a);
+
+/// Fills y[0..n) with uniform deviates, advancing x as randlc would n times.
+void vranlc(int n, double& x, double a, double* y);
+
+/// Computes a^exponent mod 2^46 (for stream seeking). exponent >= 0.
+double ipow46(double a, long long exponent);
+
+/// The seed whose stream starts at global offset `offset`:
+/// seed * a^offset mod 2^46.
+double seek_seed(double seed, double a, long long offset);
+
+}  // namespace cirrus::npb

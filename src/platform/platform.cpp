@@ -1,0 +1,212 @@
+#include "platform/platform.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <stdexcept>
+
+namespace cirrus::plat {
+
+namespace {
+
+/// Reference clock: the DCC E5520. Workload "reference seconds" are wall
+/// seconds of that work on one unloaded DCC core.
+constexpr double kRefClockGhz = 2.27;
+
+}  // namespace
+
+Platform vayu() {
+  Platform p;
+  p.name = "vayu";
+  p.nodes = 1492;
+  p.cores_per_node = 8;
+  p.hw_threads_per_node = 8;
+  p.sockets_per_node = 2;
+  p.mem_per_node_GB = 24.0;
+  p.interconnect = "QDR IB";
+
+  p.compute.clock_ghz = 2.93;
+  p.compute.mem_speed = 1.43;  // X5570 DDR3-1333 vs E5520 DDR3-800
+  p.compute.virt_overhead = 1.0;
+  p.compute.has_smt = false;
+  p.compute.numa_masked = false;  // OpenMPI enforces NUMA affinity (paper §V-C2)
+  p.compute.jitter_sigma = 0.004;
+  p.compute.mem_contention = 0.255;
+
+  p.nic.bandwidth_Bps = 3.2e9;
+  p.nic.latency_us = 1.7;
+  p.nic.per_msg_overhead_us = 0.4;
+  p.nic.jitter_prob = 0.02;
+  p.nic.jitter_mean_us = 2.0;
+  p.nic.sys_frac = 0.08;  // user-space RDMA: little system time
+  p.nic.incast_penalty = 2.2;  // static-routing collisions under all-to-all
+
+  p.shm.bandwidth_Bps = 5e9;
+  p.shm.latency_us = 0.5;
+
+  p.fs = FsModel{.read_Bps = 500e6, .write_Bps = 300e6, .open_latency_ms = 0.5,
+                 .name = "Lustre"};
+  return p;
+}
+
+Platform dcc() {
+  Platform p;
+  p.name = "dcc";
+  p.nodes = 8;
+  p.cores_per_node = 8;
+  p.hw_threads_per_node = 8;
+  p.sockets_per_node = 2;
+  p.mem_per_node_GB = 40.0;
+  p.interconnect = "GigE (E1000 vNIC)";
+
+  p.compute.clock_ghz = 2.27;
+  p.compute.mem_speed = 1.0;
+  p.compute.virt_overhead = 1.02;  // ESX CPU virtualisation cost
+  p.compute.has_smt = false;
+  p.compute.numa_masked = true;  // ESX masks NUMA from guests (paper §V-B)
+  p.compute.numa_penalty_max = 0.22;
+  p.compute.jitter_sigma = 0.02;
+  p.compute.mem_contention = 0.255;
+
+  // E1000 (1GigE-class) vNIC on the ESX vSwitch; packets traverse a software
+  // switch, so latency is high and heavy-tailed (paper Fig 2: "latencies
+  // observed on DCC fluctuated from 1 byte to 512KB messages").
+  p.nic.bandwidth_Bps = 190e6;
+  p.nic.latency_us = 55.0;
+  p.nic.per_msg_overhead_us = 5.0;
+  // Rare but long vSwitch stalls: the tail is heavy enough to move even
+  // 100-iteration OSU averages around (Fig 2's fluctuating DCC curve).
+  p.nic.jitter_prob = 0.06;
+  p.nic.jitter_mean_us = 900.0;
+  p.nic.half_duplex = true;  // one softswitch thread handles both directions
+  p.nic.sys_frac = 0.85;  // softirq packet processing shows as system time
+
+  p.shm.bandwidth_Bps = 2.5e9;
+  p.shm.latency_us = 0.9;
+
+  p.fs = FsModel{.read_Bps = 45e6, .write_Bps = 30e6, .open_latency_ms = 5.0,
+                 .name = "NFS"};
+  return p;
+}
+
+Platform ec2() {
+  Platform p;
+  p.name = "ec2";
+  p.nodes = 4;
+  p.cores_per_node = 8;
+  p.hw_threads_per_node = 16;  // HyperThreading enabled: 16 schedulable slots
+  p.sockets_per_node = 2;
+  p.mem_per_node_GB = 20.0;
+  p.interconnect = "10GigE";
+
+  p.compute.clock_ghz = 2.93;
+  p.compute.mem_speed = 1.43;
+  p.compute.virt_overhead = 1.15;  // Xen + co-tenant noise (Table III rcomp 1.17)
+  p.compute.smt_speedup = 1.05;    // two HTs deliver ~1.05x one thread
+  p.compute.has_smt = true;
+  p.compute.numa_masked = true;
+  p.compute.numa_penalty_max = 0.25;
+  p.compute.jitter_sigma = 0.05;
+  p.compute.mem_contention = 0.255;
+
+  // 10GigE inside a cluster placement group; ~560 MB/s sustained (Fig 1).
+  p.nic.bandwidth_Bps = 560e6;
+  p.nic.latency_us = 52.0;
+  p.nic.per_msg_overhead_us = 3.0;
+  p.nic.jitter_prob = 0.10;
+  p.nic.jitter_mean_us = 60.0;
+  p.nic.sys_frac = 0.55;
+  p.nic.incast_penalty = 2.5;  // Xen netback collapses under many flows
+
+  p.shm.bandwidth_Bps = 3e9;
+  p.shm.latency_us = 0.8;
+
+  p.fs = FsModel{.read_Bps = 180e6, .write_Bps = 100e6, .open_latency_ms = 3.0,
+                 .name = "NFS"};
+  return p;
+}
+
+Platform by_name(const std::string& name) {
+  std::string lower(name);
+  std::transform(lower.begin(), lower.end(), lower.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  if (lower == "vayu") return vayu();
+  if (lower == "dcc") return dcc();
+  if (lower == "ec2") return ec2();
+  throw std::invalid_argument("unknown platform: " + name);
+}
+
+std::vector<Platform> study_platforms() { return {dcc(), ec2(), vayu()}; }
+
+std::vector<RankPlacement> place_block(const Platform& p, int np, int max_ranks_per_node,
+                                       const WorkloadTraits& traits, std::uint64_t seed) {
+  if (np <= 0) throw std::invalid_argument("place_block: np must be positive");
+  const int per_node =
+      max_ranks_per_node > 0 ? std::min(max_ranks_per_node, p.hw_threads_per_node)
+                             : p.hw_threads_per_node;
+  const int nodes_needed = (np + per_node - 1) / per_node;
+  if (nodes_needed > p.nodes) {
+    throw std::invalid_argument("place_block: job of " + std::to_string(np) + " ranks at " +
+                                std::to_string(per_node) + "/node does not fit on " + p.name);
+  }
+
+  std::vector<RankPlacement> out(static_cast<std::size_t>(np));
+  // Ranks fill node 0's slots first, then node 1, ... (block placement, the
+  // scheduler behaviour assumed throughout the paper).
+  std::vector<int> node_count(static_cast<std::size_t>(nodes_needed), 0);
+  for (int r = 0; r < np; ++r) {
+    const int node = r / per_node;
+    const int slot = r % per_node;
+    out[static_cast<std::size_t>(r)].node = node;
+    out[static_cast<std::size_t>(r)].slot = slot;
+    ++node_count[static_cast<std::size_t>(node)];
+  }
+
+  sim::Rng numa_rng = sim::Rng(seed).fork(0xA117);
+  for (int r = 0; r < np; ++r) {
+    auto& pl = out[static_cast<std::size_t>(r)];
+    const int n_on_node = node_count[static_cast<std::size_t>(pl.node)];
+    pl.ranks_on_node = n_on_node;
+    // HT sibling slots are (s, s + cores). A rank shares its core when the
+    // sibling slot is also occupied.
+    if (p.compute.has_smt && n_on_node > p.cores_per_node) {
+      const int s = pl.slot;
+      pl.shares_core = (s >= p.cores_per_node) || (s < n_on_node - p.cores_per_node);
+    }
+    // On NUMA-masked platforms the guest cannot pin memory, so some ranks'
+    // pages land on the remote socket. The penalty is fixed per job (pages
+    // do not migrate), drawn deterministically from the seed.
+    if (p.compute.numa_masked && traits.mem_intensity > 0.0) {
+      const double p_bad = n_on_node > p.cores_per_socket() ? 0.5 : 0.25;
+      if (numa_rng.chance(p_bad)) {
+        pl.numa_factor =
+            1.0 + traits.mem_intensity * numa_rng.uniform(0.0, p.compute.numa_penalty_max);
+      }
+    }
+  }
+  return out;
+}
+
+double contention_factor(const Platform& p, int ranks_on_node, const WorkloadTraits& traits) {
+  const int cores_busy = std::min(ranks_on_node, p.cores_per_node);
+  if (cores_busy <= 1) return 1.0;
+  const double k = p.compute.mem_contention * traits.mem_intensity;
+  return 1.0 + k * std::pow(static_cast<double>(cores_busy - 1), 0.9);
+}
+
+sim::SimTime compute_time(const Platform& p, const RankPlacement& place,
+                          const WorkloadTraits& traits, double ref_seconds, sim::Rng& rng) {
+  if (ref_seconds <= 0.0) return 0;
+  const double mi = traits.mem_intensity;
+  const double cpu_ratio = kRefClockGhz / p.compute.clock_ghz;
+  const double mem_ratio = 1.0 / p.compute.mem_speed;
+  double t = ref_seconds * ((1.0 - mi) * cpu_ratio + mi * mem_ratio);
+  t *= contention_factor(p, place.ranks_on_node, traits);
+  if (place.shares_core) t *= 2.0 / p.compute.smt_speedup;
+  t *= place.numa_factor;
+  t *= p.compute.virt_overhead;
+  if (p.compute.jitter_sigma > 0.0) t *= rng.lognormal_median(1.0, p.compute.jitter_sigma);
+  return sim::from_seconds(t);
+}
+
+}  // namespace cirrus::plat

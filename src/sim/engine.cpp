@@ -1,0 +1,99 @@
+#include "sim/engine.hpp"
+
+#include <cassert>
+#include <sstream>
+#include <utility>
+
+namespace cirrus::sim {
+
+Process::Process(Engine& engine, int pid, std::string name, std::function<void(Process&)> body,
+                 std::size_t stack_bytes)
+    : engine_(&engine),
+      pid_(pid),
+      name_(std::move(name)),
+      fiber_([this, body = std::move(body)] { body(*this); }, stack_bytes) {}
+
+void Process::advance(SimTime dt) {
+  assert(engine_->current_ == this && "advance() called from outside the process");
+  engine_->wake_at(*this, engine_->now() + (dt < 0 ? 0 : dt));
+  suspend();
+}
+
+void Process::suspend() {
+  assert(engine_->current_ == this && "suspend() called from outside the process");
+  state_ = State::Blocked;
+  fiber_.yield();
+  state_ = State::Running;
+}
+
+Engine::Engine(const Options& opts) : opts_(opts), rng_(opts.seed) {}
+
+Engine::~Engine() = default;
+
+Process& Engine::spawn(std::string name, std::function<void(Process&)> body) {
+  const int pid = static_cast<int>(processes_.size());
+  processes_.push_back(std::unique_ptr<Process>(
+      new Process(*this, pid, std::move(name), std::move(body), opts_.fiber_stack_bytes)));
+  Process& p = *processes_.back();
+  schedule_at(now_, [this, &p] { enter(p); });
+  return p;
+}
+
+void Engine::schedule_at(SimTime when, std::function<void()> fn) {
+  if (when < now_) when = now_;
+  queue_.push(Event{when, next_seq_++, std::move(fn)});
+}
+
+void Engine::wake_at(Process& p, SimTime when) {
+  assert(!p.finished() && "waking a finished process");
+  assert(!p.wake_pending_ && "double wake: process already has a pending wake");
+  p.wake_pending_ = true;
+  schedule_at(when, [this, &p] {
+    p.wake_pending_ = false;
+    enter(p);
+  });
+}
+
+void Engine::enter(Process& p) {
+  assert(current_ == nullptr && "re-entrant enter()");
+  assert(!p.finished());
+  current_ = &p;
+  p.state_ = Process::State::Running;
+  try {
+    p.fiber_.resume();
+  } catch (...) {
+    current_ = nullptr;
+    p.state_ = Process::State::Finished;
+    throw;
+  }
+  current_ = nullptr;
+  if (p.fiber_.finished()) p.state_ = Process::State::Finished;
+}
+
+void Engine::run() {
+  while (!queue_.empty()) {
+    Event ev = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    assert(ev.when >= now_);
+    now_ = ev.when;
+    ++events_processed_;
+    ev.fn();
+  }
+  // The queue drained; every process must have run to completion.
+  std::ostringstream blocked;
+  int nblocked = 0;
+  for (const auto& p : processes_) {
+    if (!p->finished()) {
+      if (nblocked++ > 0) blocked << ", ";
+      if (nblocked <= 8) blocked << p->name() << " (pid " << p->pid() << ")";
+    }
+  }
+  if (nblocked > 0) {
+    std::ostringstream msg;
+    msg << "simulation deadlock: " << nblocked << " process(es) still blocked at t="
+        << to_seconds(now_) << "s: " << blocked.str() << (nblocked > 8 ? ", ..." : "");
+    throw DeadlockError(msg.str());
+  }
+}
+
+}  // namespace cirrus::sim

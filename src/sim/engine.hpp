@@ -1,0 +1,136 @@
+// The cirrus discrete-event simulation engine.
+//
+// A single OS thread multiplexes any number of simulated processes (fibers).
+// Events are executed in strict (time, sequence) order, so a given program +
+// seed always produces bit-identical virtual timings.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "sim/fiber.hpp"
+#include "sim/rng.hpp"
+#include "sim/time.hpp"
+
+namespace cirrus::sim {
+
+class Engine;
+
+/// Thrown by Engine::run() when the event queue drains while simulated
+/// processes are still blocked — e.g. a receive with no matching send.
+class DeadlockError : public std::runtime_error {
+ public:
+  explicit DeadlockError(std::string what) : std::runtime_error(std::move(what)) {}
+};
+
+/// A simulated process: a named fiber with a virtual-time interface.
+///
+/// All member functions other than accessors must be called from inside the
+/// process's own body (they suspend the calling fiber).
+class Process {
+ public:
+  [[nodiscard]] int pid() const noexcept { return pid_; }
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] Engine& engine() noexcept { return *engine_; }
+  [[nodiscard]] bool finished() const noexcept { return state_ == State::Finished; }
+  [[nodiscard]] bool blocked() const noexcept { return state_ == State::Blocked; }
+
+  /// Lets `dt` of virtual time pass for this process (models computation or
+  /// any fixed-duration occupancy). dt < 0 is treated as 0.
+  void advance(SimTime dt);
+
+  /// Blocks until some event calls Engine::wake() on this process. Exactly
+  /// one wake per suspend.
+  void suspend();
+
+ private:
+  friend class Engine;
+  enum class State { Created, Running, Blocked, Finished };
+
+  Process(Engine& engine, int pid, std::string name, std::function<void(Process&)> body,
+          std::size_t stack_bytes);
+
+  Engine* engine_;
+  int pid_;
+  std::string name_;
+  State state_ = State::Created;
+  bool wake_pending_ = false;
+  Fiber fiber_;
+};
+
+/// The event-driven simulator core.
+class Engine {
+ public:
+  struct Options {
+    std::uint64_t seed = 1;
+    std::size_t fiber_stack_bytes = Fiber::kDefaultStackBytes;
+  };
+
+  Engine() : Engine(Options{}) {}
+  explicit Engine(const Options& opts);
+  ~Engine();
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  [[nodiscard]] SimTime now() const noexcept { return now_; }
+  [[nodiscard]] Rng& rng() noexcept { return rng_; }
+  [[nodiscard]] std::uint64_t events_processed() const noexcept { return events_processed_; }
+
+  /// Creates a process whose body starts executing (at the current virtual
+  /// time) once run() reaches its start event. The reference stays valid for
+  /// the life of the engine.
+  Process& spawn(std::string name, std::function<void(Process&)> body);
+
+  /// Schedules `fn` to run in the engine context at virtual time `when`
+  /// (clamped to now()).
+  void schedule_at(SimTime when, std::function<void()> fn);
+  void schedule_after(SimTime dt, std::function<void()> fn) {
+    schedule_at(now_ + (dt < 0 ? 0 : dt), std::move(fn));
+  }
+
+  /// Wakes a process blocked in Process::suspend(), at time `when`. It is a
+  /// logic error to wake a process that is not (or will not then be) blocked.
+  void wake_at(Process& p, SimTime when);
+  void wake(Process& p) { wake_at(p, now_); }
+
+  /// Runs the simulation until the event queue is empty. Throws
+  /// DeadlockError if processes remain blocked afterwards; rethrows the
+  /// first exception escaping any process body.
+  void run();
+
+  /// Number of processes that have been spawned (finished or not).
+  [[nodiscard]] std::size_t process_count() const noexcept { return processes_.size(); }
+
+ private:
+  friend class Process;
+
+  struct Event {
+    SimTime when;
+    std::uint64_t seq;
+    std::function<void()> fn;
+  };
+  struct EventLater {
+    bool operator()(const Event& a, const Event& b) const noexcept {
+      return a.when != b.when ? a.when > b.when : a.seq > b.seq;
+    }
+  };
+
+  void enter(Process& p);  // switch into a process's fiber
+
+  Options opts_;
+  Rng rng_;
+  SimTime now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t events_processed_ = 0;
+  std::priority_queue<Event, std::vector<Event>, EventLater> queue_;
+  std::vector<std::unique_ptr<Process>> processes_;
+  Process* current_ = nullptr;
+};
+
+}  // namespace cirrus::sim

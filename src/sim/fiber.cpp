@@ -1,0 +1,154 @@
+#include "sim/fiber.hpp"
+
+#include <sys/mman.h>
+#include <unistd.h>
+
+#include <cassert>
+#include <cstdint>
+#include <cstring>
+#include <stdexcept>
+#include <system_error>
+#include <utility>
+
+#if !defined(CIRRUS_USE_UCONTEXT)
+extern "C" {
+// Defined in fiber_x86_64.S.
+void cirrus_ctx_switch(void** save_sp, void* target_sp);
+void cirrus_fiber_entry_thunk();
+// Called by the thunk with the fiber pointer that was parked in r12.
+void cirrus_fiber_entry(void* fiber);
+}
+#endif
+
+namespace cirrus::sim {
+
+namespace {
+
+std::size_t page_size() {
+  static const std::size_t sz = static_cast<std::size_t>(::sysconf(_SC_PAGESIZE));
+  return sz;
+}
+
+std::size_t round_up(std::size_t n, std::size_t unit) {
+  return (n + unit - 1) / unit * unit;
+}
+
+}  // namespace
+
+void fiber_entry_dispatch(Fiber* f) { f->run_body(); }
+
+#if !defined(CIRRUS_USE_UCONTEXT)
+extern "C" void cirrus_fiber_entry(void* fiber) {
+  fiber_entry_dispatch(static_cast<Fiber*>(fiber));
+  // run_body never returns control here: it yields back to the engine after
+  // marking the fiber finished. The thunk's ud2 traps if it ever does.
+}
+#endif
+
+Fiber::Fiber(std::function<void()> body, std::size_t stack_bytes) : body_(std::move(body)) {
+  const std::size_t pg = page_size();
+  const std::size_t usable = round_up(stack_bytes == 0 ? kDefaultStackBytes : stack_bytes, pg);
+  mapping_bytes_ = usable + pg;  // + guard page at the low end
+  stack_mapping_ = ::mmap(nullptr, mapping_bytes_, PROT_READ | PROT_WRITE,
+                          MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+  if (stack_mapping_ == MAP_FAILED) {
+    stack_mapping_ = nullptr;
+    throw std::system_error(errno, std::generic_category(), "fiber stack mmap");
+  }
+  if (::mprotect(stack_mapping_, pg, PROT_NONE) != 0) {
+    throw std::system_error(errno, std::generic_category(), "fiber guard mprotect");
+  }
+
+  auto* const top = static_cast<std::uint8_t*>(stack_mapping_) + mapping_bytes_;
+  assert(reinterpret_cast<std::uintptr_t>(top) % 16 == 0);
+
+#if defined(CIRRUS_USE_UCONTEXT)
+  if (::getcontext(&fiber_ctx_) != 0) {
+    throw std::system_error(errno, std::generic_category(), "getcontext");
+  }
+  fiber_ctx_.uc_stack.ss_sp = static_cast<std::uint8_t*>(stack_mapping_) + pg;
+  fiber_ctx_.uc_stack.ss_size = usable;
+  fiber_ctx_.uc_link = nullptr;
+  // makecontext only passes ints portably; split the pointer across two.
+  const auto ptr = reinterpret_cast<std::uintptr_t>(this);
+  const auto lo = static_cast<unsigned>(ptr & 0xFFFFFFFFu);
+  const auto hi = static_cast<unsigned>(ptr >> 32);
+  auto trampoline = [](unsigned a, unsigned b) {
+    const auto p = static_cast<std::uintptr_t>(a) | (static_cast<std::uintptr_t>(b) << 32);
+    fiber_entry_dispatch(reinterpret_cast<Fiber*>(p));
+  };
+  using TrampFn = void (*)(unsigned, unsigned);
+  static TrampFn tramp = trampoline;
+  ::makecontext(&fiber_ctx_, reinterpret_cast<void (*)()>(tramp), 2, lo, hi);
+#else
+  // Fabricate the frame cirrus_ctx_switch expects to restore (see the .S
+  // file): control words, r15..r12, rbx, rbp, then the ret target. The saved
+  // r12 slot carries `this` into the entry thunk.
+  struct InitFrame {
+    std::uint32_t mxcsr;
+    std::uint32_t fcw;
+    std::uint64_t r15, r14, r13, r12, rbx, rbp;
+    void* ret_target;
+    std::uint64_t fake_caller_ret;
+  };
+  static_assert(sizeof(InitFrame) == 72);
+  auto* frame = reinterpret_cast<InitFrame*>(top - sizeof(InitFrame));
+  std::memset(frame, 0, sizeof(InitFrame));
+  frame->mxcsr = 0x1F80;  // SSE defaults: all exceptions masked
+  frame->fcw = 0x037F;    // x87 defaults
+  frame->r12 = reinterpret_cast<std::uint64_t>(this);
+  frame->ret_target = reinterpret_cast<void*>(&cirrus_fiber_entry_thunk);
+  fiber_sp_ = frame;
+#endif
+}
+
+Fiber::~Fiber() {
+  // Destroying a suspended fiber is allowed (it happens when the engine is
+  // torn down after a deadlock error); objects on that fiber's stack are not
+  // unwound, so anything they own leaks. This is only reachable on fatal
+  // error paths.
+  if (stack_mapping_ != nullptr) {
+    ::munmap(stack_mapping_, mapping_bytes_);
+  }
+}
+
+void Fiber::run_body() noexcept {
+  try {
+    body_();
+  } catch (...) {
+    error_ = std::current_exception();
+  }
+  finished_ = true;
+  // Hand control back to whoever resumed us, permanently.
+#if defined(CIRRUS_USE_UCONTEXT)
+  ::swapcontext(&fiber_ctx_, &engine_ctx_);
+#else
+  cirrus_ctx_switch(&fiber_sp_, engine_sp_);
+#endif
+  // Unreachable: a finished fiber is never resumed (asserted in resume()).
+  assert(false && "finished fiber resumed");
+}
+
+void Fiber::resume() {
+  assert(!finished_ && "resume() on a finished fiber");
+  started_ = true;
+#if defined(CIRRUS_USE_UCONTEXT)
+  ::swapcontext(&engine_ctx_, &fiber_ctx_);
+#else
+  cirrus_ctx_switch(&engine_sp_, fiber_sp_);
+#endif
+  if (error_) {
+    std::exception_ptr e = std::exchange(error_, nullptr);
+    std::rethrow_exception(e);
+  }
+}
+
+void Fiber::yield() {
+#if defined(CIRRUS_USE_UCONTEXT)
+  ::swapcontext(&fiber_ctx_, &engine_ctx_);
+#else
+  cirrus_ctx_switch(&fiber_sp_, engine_sp_);
+#endif
+}
+
+}  // namespace cirrus::sim

@@ -1,0 +1,76 @@
+// Cooperative fibers used to run simulated processes.
+//
+// Each simulated MPI rank runs on its own fiber so that rank code can be
+// ordinary blocking C++: a call like `comm.recv(...)` suspends the fiber and
+// the engine resumes it when the matching message arrives in virtual time.
+// Exactly one fiber (or the engine's main context) runs at any moment; the
+// simulation is single-threaded and deterministic.
+//
+// Two switching backends:
+//  * default: a ~20-instruction assembly switch (fiber_x86_64.S), no syscalls;
+//  * CIRRUS_USE_UCONTEXT: portable POSIX ucontext fallback.
+#pragma once
+
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <memory>
+
+#if defined(CIRRUS_USE_UCONTEXT)
+#include <ucontext.h>
+#endif
+
+namespace cirrus::sim {
+
+/// A fiber owning a guard-paged stack and a user body.
+///
+/// Lifecycle: construct -> engine calls resume() -> body runs until it calls
+/// yield() or returns -> control comes back to resume()'s caller. finished()
+/// reports whether the body has returned. If the body exits with an exception
+/// it is captured and rethrown from resume() in the engine context.
+class Fiber {
+ public:
+  /// `stack_bytes` is the usable stack size; one extra guard page below the
+  /// stack turns overflow into SIGSEGV instead of silent corruption.
+  Fiber(std::function<void()> body, std::size_t stack_bytes);
+  ~Fiber();
+
+  Fiber(const Fiber&) = delete;
+  Fiber& operator=(const Fiber&) = delete;
+
+  /// Switches from the engine context into the fiber. Returns when the fiber
+  /// yields or finishes. Must not be called from inside a fiber body, and not
+  /// after finished().
+  void resume();
+
+  /// Switches from inside the fiber body back to the engine context. Returns
+  /// when the fiber is next resume()d.
+  void yield();
+
+  [[nodiscard]] bool finished() const noexcept { return finished_; }
+
+  /// Default stack size: generous because execute-mode workloads run real
+  /// numerical kernels on fiber stacks. Pages are committed lazily.
+  static constexpr std::size_t kDefaultStackBytes = 1 << 20;
+
+ private:
+  friend void fiber_entry_dispatch(Fiber* f);
+  void run_body() noexcept;
+
+  std::function<void()> body_;
+  void* stack_mapping_ = nullptr;  // mmap base (includes guard page)
+  std::size_t mapping_bytes_ = 0;
+  bool finished_ = false;
+  bool started_ = false;
+  std::exception_ptr error_;
+
+#if defined(CIRRUS_USE_UCONTEXT)
+  ucontext_t fiber_ctx_{};
+  ucontext_t engine_ctx_{};
+#else
+  void* fiber_sp_ = nullptr;   // fiber's saved stack pointer
+  void* engine_sp_ = nullptr;  // engine's saved stack pointer
+#endif
+};
+
+}  // namespace cirrus::sim

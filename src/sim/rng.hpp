@@ -1,0 +1,95 @@
+// Deterministic, splittable random number generation for the simulator.
+//
+// All stochastic model effects (network jitter, NUMA placement, hypervisor
+// noise, spot prices) draw from this generator. It is implemented from first
+// principles (splitmix64 core, Box–Muller transform) instead of <random>
+// distributions so that results are identical across standard libraries.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+namespace cirrus::sim {
+
+/// A small, fast, deterministic PRNG with support for independent substreams.
+///
+/// `fork(id)` derives a statistically independent child stream; forking with
+/// the same id always yields the same stream, which lets model components own
+/// private generators without coordinating draw order.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL) noexcept : state_(seed) {}
+
+  /// Derives an independent substream keyed by `stream`.
+  [[nodiscard]] Rng fork(std::uint64_t stream) const noexcept {
+    Rng child(mix(state_ ^ mix(stream + 0x632BE59BD9B4E019ULL)));
+    return child;
+  }
+
+  /// Next raw 64-bit value (splitmix64).
+  std::uint64_t u64() noexcept {
+    state_ += 0x9E3779B97F4A7C15ULL;
+    return mix(state_);
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() noexcept {
+    return static_cast<double>(u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) noexcept { return lo + (hi - lo) * uniform(); }
+
+  /// Uniform integer in [0, n). n must be > 0.
+  std::uint64_t below(std::uint64_t n) noexcept { return u64() % n; }
+
+  /// Standard normal deviate via Box–Muller (single value; the pair's second
+  /// value is cached).
+  double normal() noexcept {
+    if (has_cached_) {
+      has_cached_ = false;
+      return cached_;
+    }
+    double u1 = uniform();
+    double u2 = uniform();
+    // Avoid log(0).
+    if (u1 < 1e-300) u1 = 1e-300;
+    const double r = std::sqrt(-2.0 * std::log(u1));
+    const double theta = 2.0 * M_PI * u2;
+    cached_ = r * std::sin(theta);
+    has_cached_ = true;
+    return r * std::cos(theta);
+  }
+
+  double normal(double mean, double stddev) noexcept { return mean + stddev * normal(); }
+
+  /// Exponential deviate with the given mean (= 1/rate).
+  double exponential(double mean) noexcept {
+    double u = uniform();
+    if (u < 1e-300) u = 1e-300;
+    return -mean * std::log(u);
+  }
+
+  /// Log-normal deviate parameterised by the *median* and sigma of log-space.
+  /// lognormal(m, 0) == m for all draws.
+  double lognormal_median(double median, double sigma) noexcept {
+    if (sigma <= 0.0) return median;
+    return median * std::exp(sigma * normal());
+  }
+
+  /// Bernoulli trial.
+  bool chance(double p) noexcept { return uniform() < p; }
+
+ private:
+  static constexpr std::uint64_t mix(std::uint64_t z) noexcept {
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  }
+
+  std::uint64_t state_;
+  double cached_ = 0.0;
+  bool has_cached_ = false;
+};
+
+}  // namespace cirrus::sim

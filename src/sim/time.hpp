@@ -1,0 +1,33 @@
+// Virtual time for the cirrus discrete-event simulator.
+//
+// Simulated time is an integer count of nanoseconds. Using an integer (rather
+// than floating-point seconds) gives a total order with no rounding ties, so
+// event ordering — and therefore every simulated result — is bit-reproducible.
+#pragma once
+
+#include <cstdint>
+
+namespace cirrus::sim {
+
+/// Virtual time in nanoseconds since the start of the simulation.
+using SimTime = std::int64_t;
+
+inline constexpr SimTime kNsPerUs = 1'000;
+inline constexpr SimTime kNsPerMs = 1'000'000;
+inline constexpr SimTime kNsPerSec = 1'000'000'000;
+
+/// Converts a duration in seconds to SimTime, rounding to the nearest ns.
+/// Negative durations are clamped to zero: a cost model can never make time
+/// move backwards.
+constexpr SimTime from_seconds(double s) noexcept {
+  if (s <= 0.0) return 0;
+  return static_cast<SimTime>(s * 1e9 + 0.5);
+}
+
+constexpr SimTime from_micros(double us) noexcept { return from_seconds(us * 1e-6); }
+
+constexpr double to_seconds(SimTime t) noexcept { return static_cast<double>(t) * 1e-9; }
+
+constexpr double to_micros(SimTime t) noexcept { return static_cast<double>(t) * 1e-3; }
+
+}  // namespace cirrus::sim

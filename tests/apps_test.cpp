@@ -1,0 +1,173 @@
+// Tests for the MetUM and Chaste application proxies: physical verification
+// in execute mode, rank-count invariance, section structure, and
+// model-mode behaviour against the paper's headline numbers.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "apps/chaste/chaste.hpp"
+#include "apps/metum/metum.hpp"
+
+namespace mpi = cirrus::mpi;
+namespace plat = cirrus::plat;
+
+namespace {
+
+mpi::JobConfig cfg(int np, const plat::Platform& p, bool execute) {
+  mpi::JobConfig c;
+  c.platform = p;
+  c.np = np;
+  c.execute = execute;
+  c.seed = 5;
+  c.name = "apps-test";
+  return c;
+}
+
+}  // namespace
+
+// --------------------------------------------------------------- Chaste
+TEST(Chaste, ExecuteModeVerifiesPhysics) {
+  auto c = cfg(2, plat::vayu(), true);
+  c.traits = cirrus::chaste::traits();
+  auto r = mpi::run_job(c, [](mpi::RankEnv& env) {
+    const auto res = cirrus::chaste::run(env);
+    if (env.rank() == 0) env.report("verified", res.verified ? 1 : 0);
+  });
+  EXPECT_EQ(r.values.at("verified"), 1);
+  // The wavefront propagated beyond the stimulus region.
+  EXPECT_GT(r.values.at("chaste_activated"), 12 * 12 * 12 / 27);
+}
+
+TEST(Chaste, FinalStateIndependentOfRankCount) {
+  auto run_np = [](int np) {
+    auto c = cfg(np, plat::vayu(), true);
+    c.traits = cirrus::chaste::traits();
+    return mpi::run_job(c, [](mpi::RankEnv& env) { cirrus::chaste::run(env); });
+  };
+  const auto r1 = run_np(1);
+  const auto r4 = run_np(4);
+  EXPECT_NEAR(r1.values.at("chaste_final_norm"), r4.values.at("chaste_final_norm"),
+              1e-5 * r1.values.at("chaste_final_norm"));
+}
+
+TEST(Chaste, SectionsAppearInIpmReport) {
+  auto c = cfg(2, plat::vayu(), true);
+  auto r = mpi::run_job(c, [](mpi::RankEnv& env) { cirrus::chaste::run(env); });
+  const auto names = r.ipm.section_names();
+  EXPECT_NE(std::find(names.begin(), names.end(), "KSp"), names.end());
+  EXPECT_NE(std::find(names.begin(), names.end(), "Ode"), names.end());
+  EXPECT_NE(std::find(names.begin(), names.end(), "InputMesh"), names.end());
+}
+
+TEST(Chaste, ModelModeVayu8CoreTimeNearPaper) {
+  // Fig 5 calibration anchor: total t8 on Vayu ~ 1017 s, KSp ~ 579 s.
+  auto c = cfg(8, plat::vayu(), false);
+  c.traits = cirrus::chaste::traits();
+  auto r = mpi::run_job(c, [](mpi::RankEnv& env) { cirrus::chaste::run(env); });
+  EXPECT_NEAR(r.elapsed_seconds, 1017.0, 200.0);
+  EXPECT_NEAR(r.ipm.section_wall_seconds("KSp"), 579.0, 120.0);
+}
+
+TEST(Chaste, ModelModeDccSlowerThanVayu) {
+  auto run_on = [](const plat::Platform& p) {
+    auto c = cfg(8, p, false);
+    c.traits = cirrus::chaste::traits();
+    return mpi::run_job(c, [](mpi::RankEnv& env) { cirrus::chaste::run(env); }).elapsed_seconds;
+  };
+  const double vayu = run_on(plat::vayu());
+  const double dcc = run_on(plat::dcc());
+  EXPECT_GT(dcc / vayu, 1.3);  // paper: 1599/1017 = 1.57
+  EXPECT_LT(dcc / vayu, 1.9);
+}
+
+TEST(Chaste, DccKspScalesWorseThanVayu) {
+  auto ksp = [](const plat::Platform& p, int np) {
+    auto c = cfg(np, p, false);
+    c.traits = cirrus::chaste::traits();
+    auto r = mpi::run_job(c, [](mpi::RankEnv& env) { cirrus::chaste::run(env); });
+    return r.ipm.section_wall_seconds("KSp");
+  };
+  const double v_speedup = ksp(plat::vayu(), 8) / ksp(plat::vayu(), 32);
+  const double d_speedup = ksp(plat::dcc(), 8) / ksp(plat::dcc(), 32);
+  EXPECT_GT(v_speedup, 2.0);            // Vayu KSp keeps scaling
+  EXPECT_LT(d_speedup, 0.8 * v_speedup);  // DCC KSp flattens (Fig 5)
+}
+
+// --------------------------------------------------------------- MetUM
+TEST(Metum, ExecuteModeConservesTracer) {
+  auto c = cfg(2, plat::vayu(), true);
+  c.traits = cirrus::metum::traits();
+  auto r = mpi::run_job(c, [](mpi::RankEnv& env) {
+    const auto res = cirrus::metum::run(env);
+    if (env.rank() == 0) env.report("verified", res.verified ? 1 : 0);
+  });
+  EXPECT_EQ(r.values.at("verified"), 1);
+  EXPECT_EQ(r.values.at("um_conserved"), 1);
+}
+
+TEST(Metum, TracerTotalIndependentOfRankCount) {
+  auto run_np = [](int np) {
+    auto c = cfg(np, plat::vayu(), true);
+    return mpi::run_job(c, [](mpi::RankEnv& env) { cirrus::metum::run(env); });
+  };
+  const auto r1 = run_np(1);
+  const auto r3 = run_np(3);
+  const auto r4 = run_np(4);
+  EXPECT_NEAR(r1.values.at("um_tracer_total"), r3.values.at("um_tracer_total"),
+              1e-8 * std::abs(r1.values.at("um_tracer_total")));
+  EXPECT_NEAR(r1.values.at("um_tracer_total"), r4.values.at("um_tracer_total"),
+              1e-8 * std::abs(r1.values.at("um_tracer_total")));
+}
+
+TEST(Metum, ModelModeVayu8CoreWarmedTimeNearPaper) {
+  // Fig 6 anchor: warmed t8 on Vayu ~ 963 s.
+  auto c = cfg(8, plat::vayu(), false);
+  c.traits = cirrus::metum::traits();
+  auto r = mpi::run_job(c, [](mpi::RankEnv& env) { cirrus::metum::run(env); });
+  EXPECT_NEAR(r.values.at("um_warmed_seconds"), 963.0, 190.0);
+}
+
+TEST(Metum, DumpReadCostsMatchTableIII) {
+  // Table III I/O row: Vayu 4.5 s, DCC 37.8 s, EC2 9.1 s (1.6 GB dump).
+  auto io = [](const plat::Platform& p) {
+    auto c = cfg(32, p, false);
+    c.traits = cirrus::metum::traits();
+    auto r = mpi::run_job(c, [](mpi::RankEnv& env) { cirrus::metum::run(env); });
+    // I/O is booked on rank 0 only; take the max across ranks.
+    double mx = 0;
+    for (const auto& row : r.ipm.rank_breakdown("Read_Dump")) mx = std::max(mx, row.io_s);
+    return mx;
+  };
+  EXPECT_NEAR(io(plat::vayu()), 4.5, 2.0);
+  EXPECT_NEAR(io(plat::dcc()), 37.8, 8.0);
+  EXPECT_NEAR(io(plat::ec2()), 9.1, 3.0);
+}
+
+TEST(Metum, Ec2UndersubscribedBeatsFullySubscribed) {
+  // Table III: EC2 32 ranks on 2 nodes (HT) 770 s vs on 4 nodes 380 s.
+  auto run_with = [](int max_rpn) {
+    auto c = cfg(32, plat::ec2(), false);
+    c.traits = cirrus::metum::traits();
+    c.max_ranks_per_node = max_rpn;
+    return mpi::run_job(c, [](mpi::RankEnv& env) { cirrus::metum::run(env); }).elapsed_seconds;
+  };
+  const double two_nodes = run_with(16);
+  const double four_nodes = run_with(8);
+  EXPECT_GT(two_nodes / four_nodes, 1.6);  // paper: 770/380 = 2.03
+  EXPECT_LT(two_nodes / four_nodes, 2.5);
+}
+
+TEST(Metum, TropicalRanksComputeMoreThanPolar) {
+  // The Fig 7 imbalance: middle (tropical) bands do extra convection work.
+  auto c = cfg(32, plat::vayu(), false);
+  c.traits = cirrus::metum::traits();
+  auto r = mpi::run_job(c, [](mpi::RankEnv& env) { cirrus::metum::run(env); });
+  const auto rows = r.ipm.rank_breakdown("ATM_STEP");
+  ASSERT_EQ(rows.size(), 32u);
+  double tropical = 0, polar = 0;
+  for (const auto& row : rows) {
+    if (row.rank >= 8 && row.rank < 24) tropical += row.comp_s;
+    else polar += row.comp_s;
+  }
+  EXPECT_GT(tropical / 16, 1.05 * polar / 16);
+}

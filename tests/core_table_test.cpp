@@ -1,0 +1,56 @@
+// Tests for the table/figure emitters.
+#include "core/table.hpp"
+
+#include <gtest/gtest.h>
+
+namespace core = cirrus::core;
+
+TEST(Table, RendersHeaderAndRows) {
+  core::Table t({"name", "value"});
+  t.row().add("alpha").add(1.5, 1);
+  t.row().add("b").add(42);
+  const auto s = t.str();
+  EXPECT_NE(s.find("name"), std::string::npos);
+  EXPECT_NE(s.find("alpha"), std::string::npos);
+  EXPECT_NE(s.find("1.5"), std::string::npos);
+  EXPECT_NE(s.find("42"), std::string::npos);
+}
+
+TEST(Table, CsvHasCommasAndNewlines) {
+  core::Table t({"a", "b"});
+  t.row().add(1).add(2);
+  EXPECT_EQ(t.csv(), "a,b\n1,2\n");
+}
+
+TEST(Table, AddBeforeRowThrows) {
+  core::Table t({"a"});
+  EXPECT_THROW(t.add("x"), std::logic_error);
+}
+
+TEST(Figure, TableAlignsSeriesOnSharedAxis) {
+  core::Figure f;
+  f.id = "figX";
+  f.title = "test";
+  f.xlabel = "n";
+  f.series.push_back({"s1", {{1, 10}, {2, 20}}});
+  f.series.push_back({"s2", {{2, 200}, {4, 400}}});
+  const auto s = f.table_str();
+  EXPECT_NE(s.find("figX"), std::string::npos);
+  EXPECT_NE(s.find("s1"), std::string::npos);
+  EXPECT_NE(s.find("400.000"), std::string::npos);
+}
+
+TEST(Figure, CsvHasUnionOfXValues) {
+  core::Figure f;
+  f.xlabel = "x";
+  f.series.push_back({"a", {{1, 1}}});
+  f.series.push_back({"b", {{2, 2}}});
+  const auto csv = f.csv();
+  EXPECT_EQ(csv, "x,a,b\n1,1.000,\n2,,2.000\n");
+}
+
+TEST(Figure, IntegerXValuesPrintWithoutDecimals) {
+  core::Figure f;
+  f.series.push_back({"a", {{65536, 1}}});
+  EXPECT_NE(f.csv().find("65536,"), std::string::npos);
+}

@@ -1,0 +1,356 @@
+// Collective correctness: every collective is checked against a locally
+// computed reference, across a sweep of communicator sizes including
+// non-powers-of-two (parameterised property tests).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "mpi/minimpi.hpp"
+
+namespace mpi = cirrus::mpi;
+namespace plat = cirrus::plat;
+
+namespace {
+
+mpi::JobConfig cfg(int np) {
+  mpi::JobConfig c;
+  c.platform = plat::vayu();
+  c.np = np;
+  c.seed = 99;
+  c.name = "coll-test";
+  return c;
+}
+
+/// Deterministic per-rank test datum.
+double value_of(int rank, int i) { return std::sin(rank * 13.7 + i) * 100.0; }
+
+class CollectivesNp : public ::testing::TestWithParam<int> {};
+
+INSTANTIATE_TEST_SUITE_P(Sizes, CollectivesNp, ::testing::Values(1, 2, 3, 4, 5, 7, 8, 12, 16),
+                         [](const auto& info) { return "np" + std::to_string(info.param); });
+
+}  // namespace
+
+TEST_P(CollectivesNp, Barrier) {
+  const int np = GetParam();
+  auto r = mpi::run_job(cfg(np), [](mpi::RankEnv& env) {
+    // Stagger arrivals; the barrier must hold everyone until the last.
+    env.compute(0.001 * (env.rank() + 1));
+    env.world().barrier();
+    env.report("t" + std::to_string(env.rank()), 1);
+  });
+  // The job takes at least as long as the slowest rank's pre-barrier work.
+  EXPECT_GE(r.elapsed_seconds, 0.001 * np * 0.5);
+}
+
+TEST_P(CollectivesNp, BcastFromEveryRoot) {
+  const int np = GetParam();
+  for (int root = 0; root < np; ++root) {
+    auto r = mpi::run_job(cfg(np), [root](mpi::RankEnv& env) {
+      auto& c = env.world();
+      std::vector<double> data(64, -1.0);
+      if (c.rank() == root) {
+        for (int i = 0; i < 64; ++i) data[static_cast<std::size_t>(i)] = value_of(root, i);
+      }
+      c.bcast(data.data(), data.size(), root);
+      double err = 0;
+      for (int i = 0; i < 64; ++i) {
+        err += std::abs(data[static_cast<std::size_t>(i)] - value_of(root, i));
+      }
+      if (err > 0) env.report("err", err);
+    });
+    EXPECT_EQ(r.values.count("err"), 0u) << "np=" << np << " root=" << root;
+  }
+}
+
+TEST_P(CollectivesNp, ReduceSumMatchesReference) {
+  const int np = GetParam();
+  constexpr int kN = 33;
+  auto r = mpi::run_job(cfg(np), [np](mpi::RankEnv& env) {
+    auto& c = env.world();
+    std::vector<double> in(kN), out(kN, 0);
+    for (int i = 0; i < kN; ++i) in[static_cast<std::size_t>(i)] = value_of(c.rank(), i);
+    c.reduce(in.data(), out.data(), kN, mpi::Op::Sum, /*root=*/np - 1);
+    if (c.rank() == np - 1) {
+      double err = 0;
+      for (int i = 0; i < kN; ++i) {
+        double expect = 0;
+        for (int rk = 0; rk < np; ++rk) expect += value_of(rk, i);
+        err = std::max(err, std::abs(out[static_cast<std::size_t>(i)] - expect));
+      }
+      env.report("maxerr", err);
+    }
+  });
+  EXPECT_LT(r.values.at("maxerr"), 1e-9);
+}
+
+TEST_P(CollectivesNp, AllreduceSumOnAllRanks) {
+  const int np = GetParam();
+  constexpr int kN = 17;
+  auto r = mpi::run_job(cfg(np), [np](mpi::RankEnv& env) {
+    auto& c = env.world();
+    std::vector<double> in(kN), out(kN, 0);
+    for (int i = 0; i < kN; ++i) in[static_cast<std::size_t>(i)] = value_of(c.rank(), i);
+    c.allreduce(in.data(), out.data(), kN, mpi::Op::Sum);
+    double err = 0;
+    for (int i = 0; i < kN; ++i) {
+      double expect = 0;
+      for (int rk = 0; rk < np; ++rk) expect += value_of(rk, i);
+      err = std::max(err, std::abs(out[static_cast<std::size_t>(i)] - expect));
+    }
+    env.report("err" + std::to_string(c.rank()), err);
+  });
+  for (int rk = 0; rk < np; ++rk) {
+    EXPECT_LT(r.values.at("err" + std::to_string(rk)), 1e-9) << "rank " << rk;
+  }
+}
+
+TEST_P(CollectivesNp, AllreduceMinMaxProd) {
+  const int np = GetParam();
+  auto r = mpi::run_job(cfg(np), [np](mpi::RankEnv& env) {
+    auto& c = env.world();
+    const double mine = static_cast<double>((env.rank() * 7 + 3) % 11) + 1.0;
+    const double mx = c.allreduce_one(mine, mpi::Op::Max);
+    const double mn = c.allreduce_one(mine, mpi::Op::Min);
+    const double pr = c.allreduce_one(mine, mpi::Op::Prod);
+    double emx = 0, emn = 1e9, epr = 1;
+    for (int rk = 0; rk < np; ++rk) {
+      const double v = static_cast<double>((rk * 7 + 3) % 11) + 1.0;
+      emx = std::max(emx, v);
+      emn = std::min(emn, v);
+      epr *= v;
+    }
+    if (mx != emx || mn != emn || std::abs(pr - epr) > 1e-6 * epr) {
+      env.report("bad" + std::to_string(env.rank()), 1);
+    }
+  });
+  for (const auto& [k, v] : r.values) FAIL() << k;
+}
+
+TEST_P(CollectivesNp, AllgatherRing) {
+  const int np = GetParam();
+  constexpr int kN = 5;
+  auto r = mpi::run_job(cfg(np), [np](mpi::RankEnv& env) {
+    auto& c = env.world();
+    std::vector<double> in(kN), out(static_cast<std::size_t>(kN * np), -1);
+    for (int i = 0; i < kN; ++i) in[static_cast<std::size_t>(i)] = value_of(c.rank(), i);
+    c.allgather(in.data(), out.data(), kN);
+    double err = 0;
+    for (int rk = 0; rk < np; ++rk) {
+      for (int i = 0; i < kN; ++i) {
+        err = std::max(err, std::abs(out[static_cast<std::size_t>(rk * kN + i)] - value_of(rk, i)));
+      }
+    }
+    env.report("err" + std::to_string(c.rank()), err);
+  });
+  for (int rk = 0; rk < np; ++rk) EXPECT_EQ(r.values.at("err" + std::to_string(rk)), 0.0);
+}
+
+TEST_P(CollectivesNp, AlltoallTransposesBlocks) {
+  const int np = GetParam();
+  constexpr int kN = 3;  // doubles per destination
+  auto r = mpi::run_job(cfg(np), [np](mpi::RankEnv& env) {
+    auto& c = env.world();
+    std::vector<double> in(static_cast<std::size_t>(kN * np)), out(static_cast<std::size_t>(kN * np), -1);
+    for (int d = 0; d < np; ++d) {
+      for (int i = 0; i < kN; ++i) {
+        in[static_cast<std::size_t>(d * kN + i)] = c.rank() * 1000 + d * 10 + i;
+      }
+    }
+    c.alltoall(in.data(), out.data(), kN);
+    double err = 0;
+    for (int s = 0; s < np; ++s) {
+      for (int i = 0; i < kN; ++i) {
+        const double expect = s * 1000 + c.rank() * 10 + i;
+        err = std::max(err, std::abs(out[static_cast<std::size_t>(s * kN + i)] - expect));
+      }
+    }
+    env.report("err" + std::to_string(c.rank()), err);
+  });
+  for (int rk = 0; rk < np; ++rk) EXPECT_EQ(r.values.at("err" + std::to_string(rk)), 0.0);
+}
+
+TEST_P(CollectivesNp, AlltoallvVariableCounts) {
+  const int np = GetParam();
+  auto r = mpi::run_job(cfg(np), [np](mpi::RankEnv& env) {
+    auto& c = env.world();
+    // Rank r sends (r + d + 1) doubles to destination d.
+    std::vector<std::size_t> scounts(static_cast<std::size_t>(np)), rcounts(static_cast<std::size_t>(np));
+    std::size_t stot = 0, rtot = 0;
+    for (int d = 0; d < np; ++d) {
+      scounts[static_cast<std::size_t>(d)] = static_cast<std::size_t>(c.rank() + d + 1) * sizeof(double);
+      rcounts[static_cast<std::size_t>(d)] = static_cast<std::size_t>(d + c.rank() + 1) * sizeof(double);
+      stot += scounts[static_cast<std::size_t>(d)];
+      rtot += rcounts[static_cast<std::size_t>(d)];
+    }
+    std::vector<double> in(stot / sizeof(double)), out(rtot / sizeof(double), -1);
+    std::size_t off = 0;
+    for (int d = 0; d < np; ++d) {
+      for (std::size_t i = 0; i < scounts[static_cast<std::size_t>(d)] / sizeof(double); ++i) {
+        in[off++] = c.rank() * 100 + d;
+      }
+    }
+    c.alltoallv_bytes(in.data(), scounts, out.data(), rcounts);
+    double err = 0;
+    off = 0;
+    for (int s = 0; s < np; ++s) {
+      for (std::size_t i = 0; i < rcounts[static_cast<std::size_t>(s)] / sizeof(double); ++i) {
+        err = std::max(err, std::abs(out[off++] - (s * 100 + c.rank())));
+      }
+    }
+    env.report("err" + std::to_string(c.rank()), err);
+  });
+  for (int rk = 0; rk < np; ++rk) EXPECT_EQ(r.values.at("err" + std::to_string(rk)), 0.0);
+}
+
+TEST_P(CollectivesNp, GatherBinomial) {
+  const int np = GetParam();
+  for (int root : {0, np - 1}) {
+    constexpr int kN = 4;
+    auto r = mpi::run_job(cfg(np), [root, np](mpi::RankEnv& env) {
+      auto& c = env.world();
+      std::vector<double> in(kN);
+      for (int i = 0; i < kN; ++i) in[static_cast<std::size_t>(i)] = value_of(c.rank(), i);
+      std::vector<double> out;
+      if (c.rank() == root) out.assign(static_cast<std::size_t>(kN * np), -1);
+      c.gather(in.data(), c.rank() == root ? out.data() : nullptr, kN, root);
+      if (c.rank() == root) {
+        double err = 0;
+        for (int rk = 0; rk < np; ++rk) {
+          for (int i = 0; i < kN; ++i) {
+            err = std::max(err,
+                           std::abs(out[static_cast<std::size_t>(rk * kN + i)] - value_of(rk, i)));
+          }
+        }
+        env.report("err", err);
+      }
+    });
+    EXPECT_EQ(r.values.at("err"), 0.0) << "np=" << np << " root=" << root;
+  }
+}
+
+TEST_P(CollectivesNp, ScatterBinomial) {
+  const int np = GetParam();
+  for (int root : {0, np / 2}) {
+    constexpr int kN = 4;
+    auto r = mpi::run_job(cfg(np), [root, np](mpi::RankEnv& env) {
+      auto& c = env.world();
+      std::vector<double> in;
+      if (c.rank() == root) {
+        in.resize(static_cast<std::size_t>(kN * np));
+        for (int rk = 0; rk < np; ++rk) {
+          for (int i = 0; i < kN; ++i) {
+            in[static_cast<std::size_t>(rk * kN + i)] = value_of(rk, i);
+          }
+        }
+      }
+      std::vector<double> out(kN, -1);
+      c.scatter(c.rank() == root ? in.data() : nullptr, out.data(), kN, root);
+      double err = 0;
+      for (int i = 0; i < kN; ++i) {
+        err = std::max(err, std::abs(out[static_cast<std::size_t>(i)] - value_of(c.rank(), i)));
+      }
+      env.report("err" + std::to_string(c.rank()), err);
+    });
+    for (int rk = 0; rk < np; ++rk) {
+      EXPECT_EQ(r.values.at("err" + std::to_string(rk)), 0.0) << "np=" << np << " root=" << root;
+    }
+  }
+}
+
+TEST_P(CollectivesNp, ReduceScatterBlock) {
+  const int np = GetParam();
+  constexpr int kN = 6;  // doubles per block
+  auto r = mpi::run_job(cfg(np), [np](mpi::RankEnv& env) {
+    auto& c = env.world();
+    std::vector<double> in(static_cast<std::size_t>(kN * np)), out(kN, -1);
+    for (int b = 0; b < np; ++b) {
+      for (int i = 0; i < kN; ++i) {
+        in[static_cast<std::size_t>(b * kN + i)] = value_of(c.rank(), b * kN + i);
+      }
+    }
+    c.reduce_scatter_block_bytes(in.data(), out.data(), kN * sizeof(double),
+                                 mpi::detail::combiner_for<double>(mpi::Op::Sum));
+    double err = 0;
+    for (int i = 0; i < kN; ++i) {
+      double expect = 0;
+      for (int rk = 0; rk < np; ++rk) expect += value_of(rk, c.rank() * kN + i);
+      err = std::max(err, std::abs(out[static_cast<std::size_t>(i)] - expect));
+    }
+    env.report("err" + std::to_string(c.rank()), err);
+  });
+  for (int rk = 0; rk < np; ++rk) {
+    EXPECT_LT(r.values.at("err" + std::to_string(rk)), 1e-9) << "rank " << rk;
+  }
+}
+
+TEST_P(CollectivesNp, SplitByParity) {
+  const int np = GetParam();
+  auto r = mpi::run_job(cfg(np), [np](mpi::RankEnv& env) {
+    auto& c = env.world();
+    auto sub = c.split(c.rank() % 2, c.rank());
+    const int evens = (np + 1) / 2;
+    const int expect_size = (c.rank() % 2 == 0) ? evens : np - evens;
+    const int expect_rank = c.rank() / 2;
+    if (sub->size() != expect_size || sub->rank() != expect_rank) {
+      env.report("bad" + std::to_string(c.rank()), 1);
+    }
+    // The sub-communicator must actually work.
+    const double sum = sub->allreduce_one(1.0, mpi::Op::Sum);
+    if (sum != expect_size) env.report("badsum" + std::to_string(c.rank()), sum);
+  });
+  for (const auto& [k, v] : r.values) FAIL() << k << "=" << v;
+}
+
+TEST_P(CollectivesNp, SplitSubCommIsolatedFromParent) {
+  const int np = GetParam();
+  if (np < 4) GTEST_SKIP() << "needs at least two groups of two";
+  auto r = mpi::run_job(cfg(np), [](mpi::RankEnv& env) {
+    auto& c = env.world();
+    auto sub = c.split(c.rank() % 2, c.rank());
+    // Concurrent traffic in both sub-comms with identical tags must not mix.
+    std::vector<double> buf(8, c.rank());
+    const int partner = sub->rank() ^ 1;  // pair (0,1), (2,3), ...
+    if (partner < sub->size()) {
+      sub->sendrecv(partner, 1, buf.data(), buf.size(), partner, 1, buf.data(), buf.size());
+    }
+    const double total = c.allreduce_one(1.0, mpi::Op::Sum);
+    env.report("n" + std::to_string(c.rank()), total);
+  });
+  for (const auto& [k, v] : r.values) EXPECT_EQ(v, GetParam()) << k;
+}
+
+TEST(Collectives, ModelModeCollectivesCostTimeWithoutData) {
+  auto r = mpi::run_job(cfg(8), [](mpi::RankEnv& env) {
+    auto& c = env.world();
+    c.alltoall_bytes(nullptr, nullptr, 1 << 16);
+    c.bcast_bytes(nullptr, 1 << 20, 0);
+    c.allreduce_bytes(nullptr, nullptr, 8, {});
+  });
+  EXPECT_GT(r.elapsed_seconds, 1e-5);
+}
+
+TEST(Collectives, AllreduceLatencyGrowsLogarithmically) {
+  // A 8-byte allreduce across nodes costs ~log2(np) x (latency + overhead):
+  // the basis of the paper's finding that short-message collectives dominate
+  // on high-latency clouds.
+  auto time_np = [](int np) {
+    mpi::JobConfig c;
+    c.platform = plat::dcc();
+    c.platform.nic.jitter_prob = 0;  // make it exact
+    c.np = np;
+    c.max_ranks_per_node = 1;  // force every hop inter-node
+    c.name = "allred";
+    auto r = mpi::run_job(c, [](mpi::RankEnv& env) {
+      double x = 1;
+      for (int i = 0; i < 10; ++i) x = env.world().allreduce_one(x, mpi::Op::Sum);
+    });
+    return r.elapsed_seconds;
+  };
+  const double t2 = time_np(2);
+  const double t8 = time_np(8);
+  EXPECT_GT(t8, 2.5 * t2);
+  EXPECT_LT(t8, 4.5 * t2);
+}

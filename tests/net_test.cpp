@@ -1,0 +1,213 @@
+// Unit tests for the network and filesystem cost models.
+#include "net/network.hpp"
+
+#include <gtest/gtest.h>
+
+namespace net = cirrus::net;
+namespace plat = cirrus::plat;
+namespace sim = cirrus::sim;
+
+namespace {
+
+plat::Platform quiet(plat::Platform p) {
+  p.nic.jitter_prob = 0.0;  // deterministic costs for exact assertions
+  return p;
+}
+
+}  // namespace
+
+TEST(Network, SingleTransferCostIsOverheadPlusSerializationPlusLatency) {
+  sim::Engine eng;
+  const auto p = quiet(plat::vayu());
+  net::Network n(eng, p, 2, 1);
+  const std::size_t bytes = 1 << 20;
+  const auto t = n.transfer(0, 1, bytes);
+  const double expect_s = p.nic.per_msg_overhead_us * 1e-6 +
+                          static_cast<double>(bytes) / p.nic.bandwidth_Bps +
+                          p.nic.latency_us * 1e-6;
+  EXPECT_NEAR(sim::to_seconds(t.arrival), expect_s, 1e-9);
+  EXPECT_LT(t.sender_free, t.arrival);
+}
+
+TEST(Network, ZeroByteMessageCostsLatencyOnly) {
+  sim::Engine eng;
+  const auto p = quiet(plat::ec2());
+  net::Network n(eng, p, 2, 1);
+  const auto t = n.transfer(0, 1, 0);
+  EXPECT_NEAR(sim::to_micros(t.arrival), p.nic.per_msg_overhead_us + p.nic.latency_us, 1e-3);
+}
+
+TEST(Network, CostIsMonotonicInMessageSize) {
+  sim::Engine eng;
+  net::Network n(eng, quiet(plat::dcc()), 2, 1);
+  sim::SimTime prev = 0;
+  for (std::size_t bytes = 1; bytes <= (8u << 20); bytes *= 4) {
+    // Fresh network each time so reservations don't accumulate.
+    sim::Engine e2;
+    net::Network n2(e2, quiet(plat::dcc()), 2, 1);
+    const auto t = n2.transfer(0, 1, bytes);
+    EXPECT_GE(t.arrival, prev) << bytes;
+    prev = t.arrival;
+  }
+}
+
+TEST(Network, TxPortSerializesBackToBackTransfers) {
+  sim::Engine eng;
+  const auto p = quiet(plat::ec2());
+  net::Network n(eng, p, 3, 1);
+  const std::size_t bytes = 1 << 20;
+  const auto t1 = n.transfer(0, 1, bytes);
+  const auto t2 = n.transfer(0, 2, bytes);  // same instant, same TX port
+  const double busy = static_cast<double>(bytes) / p.nic.bandwidth_Bps;
+  EXPECT_NEAR(sim::to_seconds(t2.arrival) - sim::to_seconds(t1.arrival), busy, 1e-6);
+}
+
+TEST(Network, RxPortSerializesIncast) {
+  sim::Engine eng;
+  auto p = quiet(plat::ec2());
+  p.nic.incast_penalty = 1.0;  // isolate the FIFO serialisation effect
+  net::Network n(eng, p, 3, 1);
+  const std::size_t bytes = 1 << 20;
+  const auto t1 = n.transfer(0, 2, bytes);
+  const auto t2 = n.transfer(1, 2, bytes);  // distinct TX ports, same RX port
+  const double busy = static_cast<double>(bytes) / p.nic.bandwidth_Bps;
+  EXPECT_NEAR(sim::to_seconds(t2.arrival) - sim::to_seconds(t1.arrival), busy, 1e-6);
+}
+
+TEST(Network, IncastFromDistinctSourcesIsPenalized) {
+  sim::Engine eng;
+  const auto p = quiet(plat::ec2());  // incast_penalty 2.5
+  net::Network n(eng, p, 3, 1);
+  const std::size_t bytes = 1 << 20;
+  const double busy = static_cast<double>(bytes) / p.nic.bandwidth_Bps;
+  const auto t1 = n.transfer(0, 2, bytes);
+  const auto t2 = n.transfer(1, 2, bytes);  // different source, port busy
+  EXPECT_NEAR(sim::to_seconds(t2.arrival) - sim::to_seconds(t1.arrival),
+              busy * p.nic.incast_penalty, 1e-6);
+}
+
+TEST(Network, BackToBackSameSourceIsNotPenalized) {
+  // A single stream (osu_bw) keeps the RX port busy but must still achieve
+  // the nominal link rate: same-source transfers are exempt.
+  sim::Engine eng;
+  const auto p = quiet(plat::ec2());
+  net::Network n(eng, p, 3, 1);
+  const std::size_t bytes = 1 << 20;
+  const double busy = static_cast<double>(bytes) / p.nic.bandwidth_Bps;
+  const auto t1 = n.transfer(0, 2, bytes);
+  const auto t2 = n.transfer(0, 2, bytes);
+  EXPECT_NEAR(sim::to_seconds(t2.arrival) - sim::to_seconds(t1.arrival), busy, 1e-6);
+}
+
+TEST(Network, HalfDuplexSharesOnePortBetweenDirections) {
+  // On the DCC's software-switched vNIC a node cannot transmit and receive
+  // at full rate simultaneously.
+  sim::Engine eng;
+  auto p = quiet(plat::dcc());
+  net::Network n(eng, p, 2, 1);
+  const std::size_t bytes = 4 << 20;
+  const double busy = static_cast<double>(bytes) / p.nic.bandwidth_Bps;
+  const auto a = n.transfer(0, 1, bytes);  // node0 TX, node1 RX
+  const auto b = n.transfer(1, 0, bytes);  // node1 TX must queue behind its RX
+  EXPECT_GT(sim::to_seconds(b.arrival), sim::to_seconds(a.arrival) + 0.5 * busy);
+}
+
+TEST(Network, FullDuplexAllowsSimultaneousDirections) {
+  sim::Engine eng;
+  auto p = quiet(plat::vayu());
+  net::Network n(eng, p, 2, 1);
+  const std::size_t bytes = 4 << 20;
+  const double busy = static_cast<double>(bytes) / p.nic.bandwidth_Bps;
+  const auto a = n.transfer(0, 1, bytes);
+  const auto b = n.transfer(1, 0, bytes);
+  EXPECT_LT(std::abs(sim::to_seconds(b.arrival) - sim::to_seconds(a.arrival)), 0.1 * busy);
+}
+
+TEST(Network, IntraNodeUsesSharedMemoryModel) {
+  sim::Engine eng;
+  const auto p = quiet(plat::dcc());
+  net::Network n(eng, p, 2, 1);
+  const std::size_t bytes = 1 << 20;
+  const auto shm = n.transfer(0, 0, bytes);
+  const auto inter = n.transfer(0, 1, bytes);
+  EXPECT_LT(shm.arrival, inter.arrival / 10);  // shm is far faster than GigE
+}
+
+TEST(Network, IntraNodeDoesNotReserveNic) {
+  sim::Engine eng;
+  const auto p = quiet(plat::vayu());
+  net::Network n(eng, p, 2, 1);
+  n.transfer(0, 0, 64 << 20);  // big local copy
+  const auto t = n.transfer(0, 1, 1024);
+  // NIC was untouched by the local copy, so this is a fresh-wire cost.
+  EXPECT_NEAR(sim::to_micros(t.arrival),
+              p.nic.per_msg_overhead_us + 1024.0 / p.nic.bandwidth_Bps * 1e6 + p.nic.latency_us,
+              0.1);
+}
+
+TEST(Network, DccJitterProducesHeavyTail) {
+  sim::Engine eng;
+  const auto p = plat::dcc();  // jitter on
+  net::Network n(eng, p, 2, 1);
+  int spikes = 0;
+  constexpr int kN = 2000;
+  for (int i = 0; i < kN; ++i) {
+    const auto t = n.control_delay(0, 1);
+    if (sim::to_micros(t) > p.nic.latency_us * 1.5) ++spikes;
+  }
+  EXPECT_GT(spikes, kN / 20);       // the tail exists
+  EXPECT_LT(spikes, kN / 2);        // but is a tail, not the body
+}
+
+TEST(Network, VayuLatencyIsStable) {
+  sim::Engine eng;
+  const auto p = plat::vayu();
+  net::Network n(eng, p, 2, 1);
+  sim::SimTime mx = 0;
+  for (int i = 0; i < 2000; ++i) mx = std::max(mx, n.control_delay(0, 1));
+  EXPECT_LT(sim::to_micros(mx), 60.0);  // no vSwitch-style ms spikes
+}
+
+TEST(Network, SysFracHigherForInterNodeOnDcc) {
+  sim::Engine eng;
+  net::Network n(eng, plat::dcc(), 2, 1);
+  EXPECT_GT(n.sys_frac(0, 1), 0.5);
+  EXPECT_LT(n.sys_frac(0, 0), 0.2);
+}
+
+TEST(FileSystem, ReadTimeMatchesBandwidth) {
+  sim::Engine eng;
+  net::FileSystem fs(eng, plat::FsModel{.read_Bps = 100e6, .write_Bps = 50e6,
+                                        .open_latency_ms = 0.0, .name = "test"});
+  const auto done = fs.read(200'000'000, false);
+  EXPECT_NEAR(sim::to_seconds(done), 2.0, 1e-9);
+}
+
+TEST(FileSystem, OpenLatencyAddsOnce) {
+  sim::Engine eng;
+  net::FileSystem fs(eng, plat::FsModel{.read_Bps = 100e6, .write_Bps = 50e6,
+                                        .open_latency_ms = 10.0, .name = "test"});
+  const auto done = fs.read(100e6, true);
+  EXPECT_NEAR(sim::to_seconds(done), 1.0 + 0.010, 1e-9);
+}
+
+TEST(FileSystem, ConcurrentReadersSerialize) {
+  sim::Engine eng;
+  net::FileSystem fs(eng, plat::FsModel{.read_Bps = 100e6, .write_Bps = 50e6,
+                                        .open_latency_ms = 0.0, .name = "test"});
+  const auto d1 = fs.read(100e6, false);
+  const auto d2 = fs.read(100e6, false);  // same instant: queues behind d1
+  EXPECT_NEAR(sim::to_seconds(d1), 1.0, 1e-9);
+  EXPECT_NEAR(sim::to_seconds(d2), 2.0, 1e-9);
+}
+
+TEST(FileSystem, WritesUseWriteBandwidth) {
+  sim::Engine eng;
+  net::FileSystem fs(eng, plat::FsModel{.read_Bps = 100e6, .write_Bps = 50e6,
+                                        .open_latency_ms = 0.0, .name = "test"});
+  EXPECT_NEAR(sim::to_seconds(fs.write(100e6, false)), 2.0, 1e-9);
+}
+
+TEST(FileSystem, LustreBeatsNfsByAnOrderOfMagnitude) {
+  EXPECT_GT(plat::vayu().fs.read_Bps, 10 * plat::dcc().fs.read_Bps);
+}

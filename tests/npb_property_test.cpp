@@ -1,0 +1,133 @@
+// Parameterised property sweeps over the NPB kernels: every genuine kernel
+// must verify and produce rank-count-invariant results at every valid np,
+// in both protocol regimes; class W spot checks guard against class-S-only
+// correctness.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "npb/npb.hpp"
+
+namespace npb = cirrus::npb;
+namespace plat = cirrus::plat;
+
+namespace {
+
+cirrus::mpi::JobResult run(const std::string& name, npb::Class cls, int np) {
+  return npb::run_benchmark(name, cls, plat::vayu(), np, /*execute=*/true, /*seed=*/11);
+}
+
+/// The scalar each kernel reports for invariance checks.
+const char* key_of(const std::string& name) {
+  if (name == "EP") return "ep_sx";
+  if (name == "IS") return "is_key_sum";
+  if (name == "CG") return "cg_zeta";
+  if (name == "MG") return "mg_rnorm";
+  if (name == "BT") return "bt_rnorm";
+  if (name == "SP") return "sp_rnorm";
+  if (name == "LU") return "lu_rnorm";
+  return "ft_chk_re_1";
+}
+
+/// Relative tolerance. IS sums integers (exact in doubles regardless of
+/// association); the solvers' per-element math is decomposition-invariant
+/// but the *residual reductions* reassociate across np (last-ulp, 1e-12);
+/// CG/FT/MG have longer FP dependency chains (1e-6).
+double tol_of(const std::string& name) {
+  if (name == "IS") return 0.0;
+  if (name == "EP" || name == "BT" || name == "SP" || name == "LU") return 1e-12;
+  return 1e-6;
+}
+
+struct Case {
+  const char* bench;
+  int np;
+};
+
+std::string case_name(const ::testing::TestParamInfo<Case>& info) {
+  return std::string(info.param.bench) + "_np" + std::to_string(info.param.np);
+}
+
+class KernelSweep : public ::testing::TestWithParam<Case> {};
+
+INSTANTIATE_TEST_SUITE_P(
+    AllKernels, KernelSweep,
+    ::testing::Values(Case{"EP", 2}, Case{"EP", 8}, Case{"IS", 2}, Case{"IS", 8},
+                      Case{"CG", 2}, Case{"CG", 8}, Case{"FT", 2}, Case{"FT", 8},
+                      Case{"MG", 2}, Case{"MG", 4}, Case{"BT", 4}, Case{"BT", 9},
+                      Case{"BT", 16}, Case{"SP", 4}, Case{"SP", 9}, Case{"LU", 2},
+                      Case{"LU", 8}, Case{"LU", 16}),
+    case_name);
+
+}  // namespace
+
+TEST_P(KernelSweep, VerifiesAndMatchesSerialResult) {
+  const auto [bench, np] = GetParam();
+  const auto serial = run(bench, npb::Class::T, 1);
+  const auto parallel = run(bench, npb::Class::T, np);
+  EXPECT_EQ(parallel.values.at("verified"), 1.0) << bench << " np=" << np;
+  const char* key = key_of(bench);
+  const double a = serial.values.at(key);
+  const double b = parallel.values.at(key);
+  const double tol = tol_of(bench);
+  if (tol == 0.0) {
+    EXPECT_EQ(a, b) << bench << " np=" << np << " (" << key << ")";
+  } else {
+    EXPECT_NEAR(a, b, tol * std::abs(a) + 1e-12) << bench << " np=" << np;
+  }
+}
+
+TEST_P(KernelSweep, AllRendezvousProtocolGivesSameAnswer) {
+  const auto [bench, np] = GetParam();
+  const auto& info = npb::benchmark(bench);
+  auto job = npb::make_job(info, npb::Class::T, plat::vayu(), np, /*execute=*/true, 11);
+  job.eager_threshold_bytes = 0;  // force every message through rendezvous
+  auto r = cirrus::mpi::run_job(
+      job, [&info](cirrus::mpi::RankEnv& env) { info.fn(env, npb::Class::T); });
+  const auto eager = run(bench, npb::Class::T, np);
+  // The protocol changes delivery timing, never data or operation order:
+  // results must be bit-identical to the eager run.
+  EXPECT_EQ(r.values.at(key_of(bench)), eager.values.at(key_of(bench)))
+      << bench << " np=" << np;
+}
+
+// ------------------------------------------------------- class W spot checks
+TEST(NpbClassW, CgZetaMatchesPublishedValue) {
+  const auto r = npb::run_benchmark("CG", npb::Class::W, plat::vayu(), 4, true);
+  EXPECT_NEAR(r.values.at("cg_zeta"), 10.362595087124, 1e-9);
+  EXPECT_EQ(r.values.at("verified"), 1.0);
+}
+
+TEST(NpbClassW, EpVerifies) {
+  const auto r = npb::run_benchmark("EP", npb::Class::W, plat::vayu(), 8, true);
+  EXPECT_EQ(r.values.at("verified"), 1.0);
+}
+
+TEST(NpbClassW, IsVerifies) {
+  const auto r = npb::run_benchmark("IS", npb::Class::W, plat::vayu(), 8, true);
+  EXPECT_EQ(r.values.at("verified"), 1.0);
+}
+
+TEST(NpbClassW, FtRectangularGridInvariant) {
+  // Class W is 128x128x32 — the only non-cubic FT grid; exercises the
+  // transpose bookkeeping for nx != nz.
+  const auto r1 = npb::run_benchmark("FT", npb::Class::W, plat::vayu(), 1, true);
+  const auto r4 = npb::run_benchmark("FT", npb::Class::W, plat::vayu(), 4, true);
+  EXPECT_EQ(r1.values.at("verified"), 1.0);
+  EXPECT_EQ(r4.values.at("verified"), 1.0);
+  EXPECT_NEAR(r1.values.at("ft_chk_re_1"), r4.values.at("ft_chk_re_1"),
+              1e-7 * std::abs(r1.values.at("ft_chk_re_1")));
+}
+
+TEST(NpbClassW, MgResidualInvariantAt8Ranks) {
+  const auto r1 = npb::run_benchmark("MG", npb::Class::S, plat::vayu(), 1, true);
+  const auto r8 = npb::run_benchmark("MG", npb::Class::S, plat::vayu(), 8, true);
+  EXPECT_NEAR(r1.values.at("mg_rnorm"), r8.values.at("mg_rnorm"),
+              1e-6 * std::abs(r1.values.at("mg_rnorm")) + 1e-12);
+}
+
+TEST(NpbClassW, LuClassWRunsAndConverges) {
+  const auto r = npb::run_benchmark("LU", npb::Class::W, plat::vayu(), 4, true);
+  EXPECT_EQ(r.values.at("verified"), 1.0);
+  EXPECT_GT(r.values.at("lu_rnorm"), 0.0);
+}

@@ -1,0 +1,94 @@
+// Tests for the NPB randlc generator: algebraic properties of the LCG and
+// the stream-seeking machinery that underpins rank-count invariance.
+#include "npb/randlc.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace npb = cirrus::npb;
+
+TEST(Randlc, ValuesAreInUnitInterval) {
+  double x = npb::kRandlcSeed;
+  for (int i = 0; i < 100000; ++i) {
+    const double u = npb::randlc(x, npb::kRandlcA);
+    ASSERT_GT(u, 0.0);
+    ASSERT_LT(u, 1.0);
+  }
+}
+
+TEST(Randlc, StateIsA46BitInteger) {
+  double x = npb::kRandlcSeed;
+  for (int i = 0; i < 1000; ++i) {
+    npb::randlc(x, npb::kRandlcA);
+    ASSERT_EQ(x, std::floor(x));
+    ASSERT_LT(x, 0x1p46);
+    ASSERT_GE(x, 0.0);
+  }
+}
+
+TEST(Randlc, SequenceIsDeterministic) {
+  double x1 = npb::kRandlcSeed, x2 = npb::kRandlcSeed;
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_DOUBLE_EQ(npb::randlc(x1, npb::kRandlcA), npb::randlc(x2, npb::kRandlcA));
+  }
+}
+
+TEST(Randlc, MeanIsNearHalf) {
+  double x = npb::kRandlcSeed;
+  double sum = 0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) sum += npb::randlc(x, npb::kRandlcA);
+  EXPECT_NEAR(sum / kN, 0.5, 0.005);
+}
+
+TEST(Randlc, VranlcMatchesScalarCalls) {
+  double xs = npb::kRandlcSeed, xv = npb::kRandlcSeed;
+  std::vector<double> v(257);
+  npb::vranlc(257, xv, npb::kRandlcA, v.data());
+  for (int i = 0; i < 257; ++i) {
+    EXPECT_DOUBLE_EQ(v[static_cast<std::size_t>(i)], npb::randlc(xs, npb::kRandlcA));
+  }
+  EXPECT_DOUBLE_EQ(xs, xv);
+}
+
+TEST(Randlc, Ipow46MatchesRepeatedMultiplication) {
+  // a^n mod 2^46 computed by square-and-multiply must equal n sequential
+  // stream advances.
+  for (const long long n : {1LL, 2LL, 3LL, 7LL, 64LL, 1000LL, 65537LL}) {
+    double x = npb::kRandlcSeed;
+    for (long long i = 0; i < n; ++i) npb::randlc(x, npb::kRandlcA);
+    const double sought = npb::seek_seed(npb::kRandlcSeed, npb::kRandlcA, n);
+    EXPECT_DOUBLE_EQ(sought, x) << "offset " << n;
+  }
+}
+
+TEST(Randlc, SeekZeroIsIdentity) {
+  EXPECT_DOUBLE_EQ(npb::seek_seed(12345.0, npb::kRandlcA, 0), 12345.0);
+}
+
+TEST(Randlc, SeekIsAdditive) {
+  // seek(seed, a+b) == seek(seek(seed, a), b)
+  const double s1 = npb::seek_seed(npb::kRandlcSeed, npb::kRandlcA, 1000);
+  const double s2 = npb::seek_seed(s1, npb::kRandlcA, 234);
+  const double direct = npb::seek_seed(npb::kRandlcSeed, npb::kRandlcA, 1234);
+  EXPECT_DOUBLE_EQ(s2, direct);
+}
+
+TEST(Randlc, SplitStreamsEqualFullStream) {
+  // Concatenating two sought half-streams reproduces the full stream — the
+  // property EP/IS/FT rely on for np-invariance.
+  std::vector<double> full(1000);
+  double x = npb::kRandlcSeed;
+  npb::vranlc(1000, x, npb::kRandlcA, full.data());
+
+  std::vector<double> split(1000);
+  double a = npb::kRandlcSeed;
+  npb::vranlc(500, a, npb::kRandlcA, split.data());
+  double b = npb::seek_seed(npb::kRandlcSeed, npb::kRandlcA, 500);
+  npb::vranlc(500, b, npb::kRandlcA, split.data() + 500);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_DOUBLE_EQ(split[static_cast<std::size_t>(i)], full[static_cast<std::size_t>(i)]);
+  }
+}

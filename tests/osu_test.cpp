@@ -1,0 +1,92 @@
+// Tests for the OSU micro-benchmark module: the measured numbers must match
+// the platform models and reproduce the paper's Figure 1/2 orderings.
+#include "osu/osu.hpp"
+
+#include <gtest/gtest.h>
+
+namespace osu = cirrus::osu;
+namespace plat = cirrus::plat;
+
+namespace {
+plat::Platform no_jitter(plat::Platform p) {
+  p.nic.jitter_prob = 0;
+  return p;
+}
+}  // namespace
+
+TEST(Osu, DefaultSizesSpan1ByteTo4MB) {
+  const auto sizes = osu::default_sizes();
+  EXPECT_EQ(sizes.front(), 1u);
+  EXPECT_EQ(sizes.back(), 4u << 20);
+  for (std::size_t i = 1; i < sizes.size(); ++i) EXPECT_EQ(sizes[i], 2 * sizes[i - 1]);
+}
+
+TEST(Osu, LargeMessageBandwidthApproachesLinkRate) {
+  const auto p = no_jitter(plat::vayu());
+  const auto pts = osu::bandwidth(p, {4u << 20});
+  ASSERT_EQ(pts.size(), 1u);
+  EXPECT_GT(pts[0].mb_per_s, 0.85 * p.nic.bandwidth_Bps / 1e6);
+  EXPECT_LE(pts[0].mb_per_s, 1.02 * p.nic.bandwidth_Bps / 1e6);
+}
+
+TEST(Osu, SmallMessageBandwidthIsLatencyLimited) {
+  const auto p = no_jitter(plat::ec2());
+  const auto pts = osu::bandwidth(p, {1, 4u << 20});
+  EXPECT_LT(pts[0].mb_per_s, pts[1].mb_per_s / 100);
+}
+
+TEST(Osu, BandwidthOrderingMatchesFig1) {
+  const std::vector<std::size_t> sizes{256u << 10};
+  const double dcc = osu::bandwidth(no_jitter(plat::dcc()), sizes)[0].mb_per_s;
+  const double ec2 = osu::bandwidth(no_jitter(plat::ec2()), sizes)[0].mb_per_s;
+  const double vayu = osu::bandwidth(no_jitter(plat::vayu()), sizes)[0].mb_per_s;
+  EXPECT_GT(vayu, 4 * ec2);  // "more than one order of magnitude" vs GigE
+  EXPECT_GT(ec2, 2 * dcc);
+  EXPECT_NEAR(ec2, 560, 120);  // paper: ~560 MB/s at 256 KB
+  EXPECT_NEAR(dcc, 190, 60);   // paper: ~190 MB/s peak
+}
+
+TEST(Osu, SmallMessageLatencyMatchesPlatformModel) {
+  const auto p = no_jitter(plat::ec2());
+  const auto pts = osu::latency(p, {1});
+  // One-way small-message latency ~ per-message overhead + wire latency.
+  EXPECT_NEAR(pts[0].usec, p.nic.per_msg_overhead_us + p.nic.latency_us, 2.0);
+}
+
+TEST(Osu, LatencyOrderingMatchesFig2) {
+  const double vayu = osu::latency(no_jitter(plat::vayu()), {8})[0].usec;
+  const double ec2 = osu::latency(no_jitter(plat::ec2()), {8})[0].usec;
+  EXPECT_LT(vayu, 5.0);
+  EXPECT_GT(ec2, 10 * vayu);
+}
+
+TEST(Osu, DccLatencyFluctuatesAcrossSizes) {
+  // With jitter on (the real DCC model), repeated measurements of the same
+  // small size vary visibly; Vayu's do not.
+  const auto d1 = osu::latency(plat::dcc(), {64, 128, 256, 512, 1024}, /*seed=*/1);
+  double mn = 1e300, mx = 0;
+  for (const auto& pt : d1) {
+    mn = std::min(mn, pt.usec);
+    mx = std::max(mx, pt.usec);
+  }
+  EXPECT_GT(mx / mn, 1.1);  // visible fluctuation
+  const auto v = osu::latency(plat::vayu(), {64, 128, 256, 512, 1024}, /*seed=*/1);
+  mn = 1e300;
+  mx = 0;
+  for (const auto& pt : v) {
+    mn = std::min(mn, pt.usec);
+    mx = std::max(mx, pt.usec);
+  }
+  EXPECT_LT(mx / mn, 1.6);
+}
+
+TEST(Osu, LatencyGrowsWithMessageSize) {
+  const auto pts = osu::latency(no_jitter(plat::dcc()), {1, 1 << 10, 1 << 15, 1 << 20});
+  for (std::size_t i = 1; i < pts.size(); ++i) EXPECT_GT(pts[i].usec, pts[i - 1].usec);
+}
+
+TEST(Osu, DeterministicAcrossCalls) {
+  const auto a = osu::latency(plat::dcc(), {1024}, 5);
+  const auto b = osu::latency(plat::dcc(), {1024}, 5);
+  EXPECT_DOUBLE_EQ(a[0].usec, b[0].usec);
+}

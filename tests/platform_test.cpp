@@ -1,0 +1,200 @@
+// Unit tests for the platform machine models and the compute-time model.
+#include "platform/platform.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace plat = cirrus::plat;
+namespace sim = cirrus::sim;
+
+TEST(Platform, PresetsMatchPaperTableI) {
+  const auto v = plat::vayu();
+  EXPECT_EQ(v.nodes, 1492);
+  EXPECT_EQ(v.cores_per_node, 8);
+  EXPECT_EQ(v.hw_threads_per_node, 8);
+  EXPECT_DOUBLE_EQ(v.compute.clock_ghz, 2.93);
+  EXPECT_EQ(v.fs.name, "Lustre");
+  EXPECT_FALSE(v.compute.numa_masked);
+
+  const auto d = plat::dcc();
+  EXPECT_EQ(d.nodes, 8);
+  EXPECT_EQ(d.hw_threads_per_node, 8);
+  EXPECT_DOUBLE_EQ(d.compute.clock_ghz, 2.27);
+  EXPECT_TRUE(d.compute.numa_masked);
+  EXPECT_EQ(d.fs.name, "NFS");
+
+  const auto e = plat::ec2();
+  EXPECT_EQ(e.nodes, 4);
+  EXPECT_EQ(e.cores_per_node, 8);
+  EXPECT_EQ(e.hw_threads_per_node, 16);  // HyperThreading
+  EXPECT_TRUE(e.compute.has_smt);
+}
+
+TEST(Platform, InterconnectOrderingMatchesPaperFig1) {
+  // QDR IB >> 10GigE > GigE, by more than an order of magnitude at the top.
+  const double v = plat::vayu().nic.bandwidth_Bps;
+  const double e = plat::ec2().nic.bandwidth_Bps;
+  const double d = plat::dcc().nic.bandwidth_Bps;
+  EXPECT_GT(v, 5 * e);
+  EXPECT_GT(e, 2 * d);
+}
+
+TEST(Platform, LatencyOrderingMatchesPaperFig2) {
+  EXPECT_LT(plat::vayu().nic.latency_us, 5.0);
+  EXPECT_GT(plat::ec2().nic.latency_us, 20.0);
+  EXPECT_GT(plat::dcc().nic.latency_us, 20.0);
+  // DCC's tail is the distinguishing feature (vSwitch jitter).
+  EXPECT_GT(plat::dcc().nic.jitter_prob * plat::dcc().nic.jitter_mean_us,
+            plat::ec2().nic.jitter_prob * plat::ec2().nic.jitter_mean_us);
+}
+
+TEST(Platform, ByNameRoundTrips) {
+  EXPECT_EQ(plat::by_name("vayu").name, "vayu");
+  EXPECT_EQ(plat::by_name("DCC").name, "dcc");
+  EXPECT_EQ(plat::by_name("Ec2").name, "ec2");
+  EXPECT_THROW(plat::by_name("bluegene"), std::invalid_argument);
+}
+
+TEST(Platform, StudyPlatformsHasAllThree) {
+  const auto all = plat::study_platforms();
+  ASSERT_EQ(all.size(), 3u);
+  EXPECT_EQ(all[0].name, "dcc");
+  EXPECT_EQ(all[1].name, "ec2");
+  EXPECT_EQ(all[2].name, "vayu");
+}
+
+TEST(Placement, BlockFillUsesAllSlotsBeforeNextNode) {
+  const auto p = plat::dcc();
+  const auto pl = plat::place_block(p, 12, -1, {}, 1);
+  ASSERT_EQ(pl.size(), 12u);
+  for (int r = 0; r < 8; ++r) EXPECT_EQ(pl[static_cast<std::size_t>(r)].node, 0);
+  for (int r = 8; r < 12; ++r) EXPECT_EQ(pl[static_cast<std::size_t>(r)].node, 1);
+  EXPECT_EQ(pl[0].ranks_on_node, 8);
+  EXPECT_EQ(pl[11].ranks_on_node, 4);
+}
+
+TEST(Placement, MaxRanksPerNodeSpreadsJob) {
+  const auto p = plat::ec2();
+  const auto pl = plat::place_block(p, 32, 8, {}, 1);  // the paper's "EC2-4"
+  EXPECT_EQ(pl[31].node, 3);
+  for (const auto& pp : pl) {
+    EXPECT_EQ(pp.ranks_on_node, 8);
+    EXPECT_FALSE(pp.shares_core);
+  }
+}
+
+TEST(Placement, HyperThreadSharingDetectedOnEc2FullSubscription) {
+  const auto p = plat::ec2();
+  const auto pl = plat::place_block(p, 32, -1, {}, 1);  // 16 ranks on each of 2 nodes
+  int shared = 0;
+  for (const auto& pp : pl) shared += pp.shares_core;
+  EXPECT_EQ(shared, 32);  // every core has both siblings busy
+  const auto pl12 = plat::place_block(p, 12, -1, {}, 1);  // 12 on one node: 4 shared pairs
+  int shared12 = 0;
+  for (const auto& pp : pl12) shared12 += pp.shares_core;
+  EXPECT_EQ(shared12, 8);  // 4 cores doubly occupied -> 8 ranks sharing
+}
+
+TEST(Placement, JobTooLargeThrows) {
+  EXPECT_THROW(plat::place_block(plat::dcc(), 65, -1, {}, 1), std::invalid_argument);
+  EXPECT_THROW(plat::place_block(plat::ec2(), 65, -1, {}, 1), std::invalid_argument);
+  EXPECT_NO_THROW(plat::place_block(plat::vayu(), 512, -1, {}, 1));
+}
+
+TEST(Placement, NumaFactorsOnlyOnMaskedPlatforms) {
+  plat::WorkloadTraits mem{.mem_intensity = 1.0};
+  const auto pv = plat::place_block(plat::vayu(), 32, -1, mem, 7);
+  for (const auto& pp : pv) EXPECT_DOUBLE_EQ(pp.numa_factor, 1.0);
+  const auto pd = plat::place_block(plat::dcc(), 32, -1, mem, 7);
+  bool any_penalty = false;
+  for (const auto& pp : pd) {
+    EXPECT_GE(pp.numa_factor, 1.0);
+    EXPECT_LE(pp.numa_factor, 1.0 + plat::dcc().compute.numa_penalty_max);
+    any_penalty = any_penalty || pp.numa_factor > 1.0;
+  }
+  EXPECT_TRUE(any_penalty);
+}
+
+TEST(Placement, NumaFactorsDeterministicPerSeed) {
+  plat::WorkloadTraits mem{.mem_intensity = 0.8};
+  const auto a = plat::place_block(plat::dcc(), 16, -1, mem, 11);
+  const auto b = plat::place_block(plat::dcc(), 16, -1, mem, 11);
+  const auto c = plat::place_block(plat::dcc(), 16, -1, mem, 12);
+  bool differs = false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a[i].numa_factor, b[i].numa_factor);
+    differs = differs || a[i].numa_factor != c[i].numa_factor;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(ComputeModel, ClockRatioForCpuBoundWork) {
+  // Pure CPU work (mem_intensity 0) should scale by clock ratio only.
+  plat::WorkloadTraits cpu{.mem_intensity = 0.0};
+  sim::Rng rng(1);
+  plat::RankPlacement single{};  // one rank alone on a node
+  auto d = plat::dcc();
+  auto v = plat::vayu();
+  d.compute.jitter_sigma = 0.0;
+  v.compute.jitter_sigma = 0.0;
+  const auto td = plat::compute_time(d, single, cpu, 100.0, rng);
+  const auto tv = plat::compute_time(v, single, cpu, 100.0, rng);
+  const double ratio = sim::to_seconds(td) / sim::to_seconds(tv);
+  EXPECT_NEAR(ratio, 2.93 / 2.27 * 1.02, 1e-6);  // clock ratio x DCC virt overhead
+}
+
+TEST(ComputeModel, ReferenceSecondsOnDccAreIdentity) {
+  plat::WorkloadTraits cpu{.mem_intensity = 0.0};
+  auto p = plat::dcc();
+  p.compute.virt_overhead = 1.0;
+  p.compute.jitter_sigma = 0.0;
+  sim::Rng rng(1);
+  plat::RankPlacement single{};
+  EXPECT_NEAR(sim::to_seconds(plat::compute_time(p, single, cpu, 123.0, rng)), 123.0, 1e-6);
+}
+
+TEST(ComputeModel, MemoryContentionGrowsWithRanksPerNode) {
+  plat::WorkloadTraits mem{.mem_intensity = 0.75};
+  const auto p = plat::vayu();
+  const double c1 = plat::contention_factor(p, 1, mem);
+  const double c2 = plat::contention_factor(p, 2, mem);
+  const double c4 = plat::contention_factor(p, 4, mem);
+  const double c8 = plat::contention_factor(p, 8, mem);
+  EXPECT_DOUBLE_EQ(c1, 1.0);
+  EXPECT_LT(c2, c4);
+  EXPECT_LT(c4, c8);
+  EXPECT_GT(c8, 1.5);  // memory-bound codes lose a lot to full subscription
+}
+
+TEST(ComputeModel, ContentionSaturatesAtPhysicalCores) {
+  // HyperThread ranks do not add memory pressure: cores, not ranks, matter.
+  plat::WorkloadTraits mem{.mem_intensity = 0.75};
+  const auto p = plat::ec2();
+  EXPECT_DOUBLE_EQ(plat::contention_factor(p, 16, mem), plat::contention_factor(p, 8, mem));
+}
+
+TEST(ComputeModel, EpLikeWorkloadSeesNoContention) {
+  plat::WorkloadTraits cpu{.mem_intensity = 0.0};
+  EXPECT_DOUBLE_EQ(plat::contention_factor(plat::vayu(), 8, cpu), 1.0);
+}
+
+TEST(ComputeModel, HyperThreadSharingRoughlyHalvesThroughput) {
+  plat::WorkloadTraits cpu{.mem_intensity = 0.0};
+  auto p = plat::ec2();
+  p.compute.jitter_sigma = 0.0;
+  sim::Rng rng(1);
+  plat::RankPlacement alone{.node = 0, .slot = 0, .shares_core = false, .ranks_on_node = 1};
+  plat::RankPlacement shared = alone;
+  shared.shares_core = true;
+  const double t1 = sim::to_seconds(plat::compute_time(p, alone, cpu, 10.0, rng));
+  const double t2 = sim::to_seconds(plat::compute_time(p, shared, cpu, 10.0, rng));
+  EXPECT_NEAR(t2 / t1, 2.0 / 1.05, 0.01);
+}
+
+TEST(ComputeModel, ZeroWorkIsFree) {
+  sim::Rng rng(1);
+  plat::RankPlacement single{};
+  EXPECT_EQ(plat::compute_time(plat::vayu(), single, {}, 0.0, rng), 0);
+  EXPECT_EQ(plat::compute_time(plat::vayu(), single, {}, -1.0, rng), 0);
+}

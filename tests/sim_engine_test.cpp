@@ -1,0 +1,216 @@
+// Unit tests for the discrete-event engine: event ordering, virtual time,
+// process lifecycle, wake/suspend discipline, deadlock detection and
+// determinism.
+#include "sim/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace sim = cirrus::sim;
+using sim::SimTime;
+
+TEST(Engine, StartsAtTimeZero) {
+  sim::Engine eng;
+  EXPECT_EQ(eng.now(), 0);
+}
+
+TEST(Engine, EventsRunInTimeOrderRegardlessOfScheduleOrder) {
+  sim::Engine eng;
+  std::vector<int> order;
+  eng.schedule_at(300, [&] { order.push_back(3); });
+  eng.schedule_at(100, [&] { order.push_back(1); });
+  eng.schedule_at(200, [&] { order.push_back(2); });
+  eng.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(eng.now(), 300);
+}
+
+TEST(Engine, SameTimeEventsRunInScheduleOrder) {
+  sim::Engine eng;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) eng.schedule_at(50, [&order, i] { order.push_back(i); });
+  eng.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(Engine, ScheduleInThePastClampsToNow) {
+  sim::Engine eng;
+  SimTime seen = -1;
+  eng.schedule_at(100, [&] {
+    eng.schedule_at(5, [&] { seen = eng.now(); });  // "5" is in the past
+  });
+  eng.run();
+  EXPECT_EQ(seen, 100);
+}
+
+TEST(Engine, ProcessAdvanceMovesVirtualTime) {
+  sim::Engine eng;
+  SimTime t_mid = -1, t_end = -1;
+  eng.spawn("p", [&](sim::Process& self) {
+    self.advance(1000);
+    t_mid = eng.now();
+    self.advance(500);
+    t_end = eng.now();
+  });
+  eng.run();
+  EXPECT_EQ(t_mid, 1000);
+  EXPECT_EQ(t_end, 1500);
+}
+
+TEST(Engine, AdvanceZeroAndNegativeAreInstant) {
+  sim::Engine eng;
+  eng.spawn("p", [&](sim::Process& self) {
+    self.advance(0);
+    EXPECT_EQ(eng.now(), 0);
+    self.advance(-5);
+    EXPECT_EQ(eng.now(), 0);
+  });
+  eng.run();
+}
+
+TEST(Engine, TwoProcessesInterleaveByVirtualTime) {
+  sim::Engine eng;
+  std::vector<std::string> log;
+  eng.spawn("a", [&](sim::Process& self) {
+    self.advance(10);
+    log.push_back("a@10");
+    self.advance(20);  // -> 30
+    log.push_back("a@30");
+  });
+  eng.spawn("b", [&](sim::Process& self) {
+    self.advance(15);
+    log.push_back("b@15");
+    self.advance(30);  // -> 45
+    log.push_back("b@45");
+  });
+  eng.run();
+  EXPECT_EQ(log, (std::vector<std::string>{"a@10", "b@15", "a@30", "b@45"}));
+}
+
+TEST(Engine, SuspendThenWakeResumesAtWakeTime) {
+  sim::Engine eng;
+  SimTime resumed_at = -1;
+  sim::Process& p = eng.spawn("sleeper", [&](sim::Process& self) {
+    self.suspend();
+    resumed_at = eng.now();
+  });
+  eng.schedule_at(777, [&] { eng.wake(p); });
+  eng.run();
+  EXPECT_EQ(resumed_at, 777);
+}
+
+TEST(Engine, WakeAtFutureTime) {
+  sim::Engine eng;
+  SimTime resumed_at = -1;
+  sim::Process& p = eng.spawn("sleeper", [&](sim::Process& self) {
+    self.suspend();
+    resumed_at = eng.now();
+  });
+  eng.schedule_at(10, [&] { eng.wake_at(p, 500); });
+  eng.run();
+  EXPECT_EQ(resumed_at, 500);
+}
+
+TEST(Engine, DeadlockIsDetectedAndNamed) {
+  sim::Engine eng;
+  eng.spawn("stuck-one", [](sim::Process& self) { self.suspend(); });
+  try {
+    eng.run();
+    FAIL() << "expected DeadlockError";
+  } catch (const sim::DeadlockError& e) {
+    EXPECT_NE(std::string(e.what()).find("stuck-one"), std::string::npos);
+  }
+}
+
+TEST(Engine, NoDeadlockWhenAllProcessesFinish) {
+  sim::Engine eng;
+  for (int i = 0; i < 5; ++i) {
+    eng.spawn("p" + std::to_string(i), [](sim::Process& self) { self.advance(100); });
+  }
+  EXPECT_NO_THROW(eng.run());
+}
+
+TEST(Engine, ExceptionInProcessBodyPropagatesFromRun) {
+  sim::Engine eng;
+  eng.spawn("thrower", [](sim::Process&) { throw std::runtime_error("app failure"); });
+  EXPECT_THROW(eng.run(), std::runtime_error);
+}
+
+TEST(Engine, SpawnDuringRunWorks) {
+  sim::Engine eng;
+  SimTime child_done = -1;
+  eng.spawn("parent", [&](sim::Process& self) {
+    self.advance(100);
+    eng.spawn("child", [&](sim::Process& c) {
+      c.advance(50);
+      child_done = eng.now();
+    });
+    self.advance(10);
+  });
+  eng.run();
+  EXPECT_EQ(child_done, 150);
+}
+
+TEST(Engine, ProcessPidsAreSequential) {
+  sim::Engine eng;
+  auto& a = eng.spawn("a", [](sim::Process&) {});
+  auto& b = eng.spawn("b", [](sim::Process&) {});
+  EXPECT_EQ(a.pid(), 0);
+  EXPECT_EQ(b.pid(), 1);
+  EXPECT_EQ(eng.process_count(), 2u);
+  eng.run();
+}
+
+TEST(Engine, ManyProcessesManySteps) {
+  sim::Engine eng;
+  constexpr int kProcs = 64;
+  constexpr int kSteps = 100;
+  std::vector<SimTime> final_time(kProcs, -1);
+  for (int i = 0; i < kProcs; ++i) {
+    eng.spawn("w" + std::to_string(i), [&, i](sim::Process& self) {
+      for (int s = 0; s < kSteps; ++s) self.advance(i + 1);
+      final_time[i] = eng.now();
+    });
+  }
+  eng.run();
+  for (int i = 0; i < kProcs; ++i) {
+    EXPECT_EQ(final_time[i], static_cast<SimTime>(i + 1) * kSteps);
+  }
+}
+
+TEST(Engine, EventCountIsTracked) {
+  sim::Engine eng;
+  eng.schedule_at(1, [] {});
+  eng.schedule_at(2, [] {});
+  eng.run();
+  EXPECT_EQ(eng.events_processed(), 2u);
+}
+
+// Determinism: the same program produces bit-identical event counts, times
+// and RNG draws across runs.
+TEST(Engine, DeterministicAcrossRuns) {
+  auto run_once = [](std::uint64_t seed) {
+    sim::Engine::Options opts;
+    opts.seed = seed;
+    sim::Engine eng(opts);
+    std::vector<SimTime> trace;
+    for (int i = 0; i < 8; ++i) {
+      eng.spawn("p" + std::to_string(i), [&, i](sim::Process& self) {
+        for (int s = 0; s < 20; ++s) {
+          const double jitter = eng.rng().exponential(100.0);
+          self.advance(static_cast<SimTime>(jitter) + i);
+          trace.push_back(eng.now());
+        }
+      });
+    }
+    eng.run();
+    return trace;
+  };
+  const auto t1 = run_once(42);
+  const auto t2 = run_once(42);
+  const auto t3 = run_once(43);
+  EXPECT_EQ(t1, t2);
+  EXPECT_NE(t1, t3);
+}

@@ -1,0 +1,118 @@
+// Unit and statistical property tests for the deterministic RNG.
+#include "sim/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace sim = cirrus::sim;
+
+TEST(Rng, SameSeedSameSequence) {
+  sim::Rng a(7), b(7);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.u64(), b.u64());
+}
+
+TEST(Rng, DifferentSeedsDifferentSequences) {
+  sim::Rng a(7), b(8);
+  int same = 0;
+  for (int i = 0; i < 1000; ++i) same += (a.u64() == b.u64());
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, ForkIsIndependentOfParentDrawOrder) {
+  sim::Rng parent(99);
+  sim::Rng child1 = parent.fork(5);
+  parent.u64();  // advancing the parent must not change an already-made fork
+  sim::Rng child2 = sim::Rng(99).fork(5);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(child1.u64(), child2.u64());
+}
+
+TEST(Rng, ForksWithDifferentIdsDiffer) {
+  sim::Rng parent(99);
+  sim::Rng a = parent.fork(1), b = parent.fork(2);
+  int same = 0;
+  for (int i = 0; i < 1000; ++i) same += (a.u64() == b.u64());
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  sim::Rng r(1);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = r.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  sim::Rng r(2);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = r.uniform(-3.0, 5.5);
+    ASSERT_GE(u, -3.0);
+    ASSERT_LT(u, 5.5);
+  }
+}
+
+TEST(Rng, UniformMeanNearHalf) {
+  sim::Rng r(3);
+  double sum = 0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) sum += r.uniform();
+  EXPECT_NEAR(sum / kN, 0.5, 0.01);
+}
+
+TEST(Rng, NormalMeanAndVariance) {
+  sim::Rng r(4);
+  constexpr int kN = 100000;
+  double sum = 0, sumsq = 0;
+  for (int i = 0; i < kN; ++i) {
+    const double x = r.normal();
+    sum += x;
+    sumsq += x * x;
+  }
+  const double mean = sum / kN;
+  const double var = sumsq / kN - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.02);
+  EXPECT_NEAR(var, 1.0, 0.03);
+}
+
+TEST(Rng, ExponentialMeanMatches) {
+  sim::Rng r(5);
+  constexpr int kN = 100000;
+  double sum = 0;
+  for (int i = 0; i < kN; ++i) sum += r.exponential(42.0);
+  EXPECT_NEAR(sum / kN, 42.0, 1.0);
+}
+
+TEST(Rng, ExponentialIsNonNegative) {
+  sim::Rng r(6);
+  for (int i = 0; i < 10000; ++i) ASSERT_GE(r.exponential(1.0), 0.0);
+}
+
+TEST(Rng, LognormalZeroSigmaIsDeterministicMedian) {
+  sim::Rng r(7);
+  for (int i = 0; i < 100; ++i) EXPECT_DOUBLE_EQ(r.lognormal_median(3.5, 0.0), 3.5);
+}
+
+TEST(Rng, LognormalMedianApproximatelyCorrect) {
+  sim::Rng r(8);
+  constexpr int kN = 100001;
+  std::vector<double> xs(kN);
+  for (auto& x : xs) x = r.lognormal_median(10.0, 0.5);
+  std::nth_element(xs.begin(), xs.begin() + kN / 2, xs.end());
+  EXPECT_NEAR(xs[kN / 2], 10.0, 0.15);
+}
+
+TEST(Rng, ChanceProbability) {
+  sim::Rng r(9);
+  constexpr int kN = 100000;
+  int hits = 0;
+  for (int i = 0; i < kN; ++i) hits += r.chance(0.25);
+  EXPECT_NEAR(static_cast<double>(hits) / kN, 0.25, 0.01);
+}
+
+TEST(Rng, BelowStaysInRange) {
+  sim::Rng r(10);
+  for (int i = 0; i < 10000; ++i) ASSERT_LT(r.below(17), 17u);
+}
