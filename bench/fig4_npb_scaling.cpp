@@ -11,12 +11,17 @@
 //  * CG on DCC drops at 8 (masked NUMA); IS scales poorly everywhere.
 //
 // Pass a benchmark name (e.g. `fig4_npb_scaling CG`) to run one benchmark
-// only; default runs the full sweep.
+// only; default runs the full sweep. Sweep points run concurrently on the
+// parallel driver (`--jobs N` or CIRRUS_JOBS; `--jobs 1` forces serial) —
+// each point is its own deterministic single-threaded simulation, so the
+// output is identical for every jobs value.
 #include <cstdio>
 #include <cstring>
 #include <map>
 #include <string>
+#include <vector>
 
+#include "core/driver.hpp"
 #include "core/options.hpp"
 #include "core/table.hpp"
 #include "npb/npb.hpp"
@@ -25,7 +30,39 @@ int main(int argc, char** argv) {
   using namespace cirrus;
   const core::Options opts(argc, argv);
   const std::string only = opts.positional().empty() ? "" : opts.positional()[0];
+  const int jobs = opts.get_int("jobs", 0);
 
+  // Enumerate every (benchmark, platform, np) sweep point up front...
+  struct Point {
+    const npb::BenchmarkInfo* bench;
+    const plat::Platform* platform;
+    int np;
+  };
+  std::vector<Point> points;
+  const auto& platforms = plat::study_platforms();
+  for (const auto& b : npb::all_benchmarks()) {
+    if (!only.empty() && b.name != only) continue;
+    for (const auto& platform : platforms) {
+      for (const int np : b.valid_np) {
+        if (np > platform.total_slots()) continue;
+        points.push_back({&b, &platform, np});
+      }
+    }
+  }
+
+  // ...simulate them concurrently (each its own engine)...
+  const std::vector<double> elapsed = core::run_sweep<double>(
+      points.size(),
+      [&](std::size_t i) {
+        const Point& p = points[i];
+        return npb::run_benchmark(p.bench->name, npb::Class::B, *p.platform, p.np,
+                                  /*execute=*/false)
+            .elapsed_seconds;
+      },
+      jobs);
+
+  // ...and assemble the figures in the original deterministic order.
+  std::size_t idx = 0;
   for (const auto& b : npb::all_benchmarks()) {
     if (!only.empty() && b.name != only) continue;
     core::Figure fig;
@@ -33,16 +70,15 @@ int main(int argc, char** argv) {
     fig.title = b.name + " class B speedup comparison on three different platforms";
     fig.xlabel = "# of cores";
     fig.ylabel = "Speedup";
-    for (const auto& platform : plat::study_platforms()) {
+    for (const auto& platform : platforms) {
       core::Series s;
       s.name = platform.name;
       double t1 = 0;
       for (const int np : b.valid_np) {
         if (np > platform.total_slots()) continue;
-        const auto r =
-            npb::run_benchmark(b.name, npb::Class::B, platform, np, /*execute=*/false);
-        if (np == 1) t1 = r.elapsed_seconds;
-        s.points.emplace_back(np, t1 / r.elapsed_seconds);
+        const double t = elapsed[idx++];
+        if (np == 1) t1 = t;
+        s.points.emplace_back(np, t1 / t);
       }
       fig.series.push_back(std::move(s));
     }

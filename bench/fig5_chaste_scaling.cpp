@@ -6,9 +6,15 @@
 // Paper anchors: t8 total Vayu ~1017 s / DCC ~1599 s; KSp 579 s / 938 s.
 // (The published figure's legend transposes the two t8 values; see
 // EXPERIMENTS.md.)
+//
+// Sweep points run concurrently on the parallel driver (`--jobs N` or
+// CIRRUS_JOBS); the output is identical for every jobs value.
 #include <cstdio>
+#include <string>
+#include <vector>
 
 #include "apps/chaste/chaste.hpp"
+#include "core/driver.hpp"
 #include "core/options.hpp"
 #include "core/table.hpp"
 
@@ -16,6 +22,35 @@ int main(int argc, char** argv) {
   const cirrus::core::Options opts(argc, argv);
   using namespace cirrus;
   const int np_list[] = {8, 16, 32, 48, 64};
+  const char* platforms[] = {"vayu", "dcc"};
+
+  struct Point {
+    const char* platform;
+    int np;
+  };
+  std::vector<Point> points;
+  for (const char* pname : platforms) {
+    for (const int np : np_list) points.push_back({pname, np});
+  }
+
+  struct Times {
+    double total = 0;
+    double ksp = 0;
+  };
+  const std::vector<Times> times = core::run_sweep<Times>(
+      points.size(),
+      [&](std::size_t i) {
+        const Point& p = points[i];
+        mpi::JobConfig cfg;
+        cfg.platform = plat::by_name(p.platform);
+        cfg.np = p.np;
+        cfg.traits = chaste::traits();
+        cfg.execute = false;
+        cfg.name = std::string("chaste.") + p.platform + "." + std::to_string(p.np);
+        auto r = mpi::run_job(cfg, [](mpi::RankEnv& env) { chaste::run(env); });
+        return Times{r.elapsed_seconds, r.ipm.section_wall_seconds("KSp")};
+      },
+      opts.get_int("jobs", 0));
 
   core::Figure fig;
   fig.id = "fig5";
@@ -23,29 +58,21 @@ int main(int argc, char** argv) {
   fig.xlabel = "Number of Cores";
   fig.ylabel = "Speedup over 8 cores";
 
-  for (const char* pname : {"vayu", "dcc"}) {
-    const auto platform = plat::by_name(pname);
+  std::size_t idx = 0;
+  for (const char* pname : platforms) {
     core::Series total{std::string(pname) + " total", {}};
     core::Series ksp{std::string(pname) + " KSp", {}};
     double t8 = 0, k8 = 0;
     for (const int np : np_list) {
-      mpi::JobConfig cfg;
-      cfg.platform = platform;
-      cfg.np = np;
-      cfg.traits = chaste::traits();
-      cfg.execute = false;
-      cfg.name = std::string("chaste.") + pname + "." + std::to_string(np);
-      auto r = mpi::run_job(cfg, [](mpi::RankEnv& env) { chaste::run(env); });
-      const double ksp_t = r.ipm.section_wall_seconds("KSp");
+      const Times& r = times[idx++];
       if (np == 8) {
-        t8 = r.elapsed_seconds;
-        k8 = ksp_t;
-        std::printf("%s t8 = %.0f s (paper: %s), KSp t8 = %.0f s (paper: %s)\n", pname,
-                    t8, pname[0] == 'v' ? "1017" : "1599", k8,
-                    pname[0] == 'v' ? "579" : "938");
+        t8 = r.total;
+        k8 = r.ksp;
+        std::printf("%s t8 = %.0f s (paper: %s), KSp t8 = %.0f s (paper: %s)\n", pname, t8,
+                    pname[0] == 'v' ? "1017" : "1599", k8, pname[0] == 'v' ? "579" : "938");
       }
-      total.points.emplace_back(np, t8 / r.elapsed_seconds);
-      ksp.points.emplace_back(np, k8 / ksp_t);
+      total.points.emplace_back(np, t8 / r.total);
+      ksp.points.emplace_back(np, k8 / r.ksp);
     }
     fig.series.push_back(std::move(total));
     fig.series.push_back(std::move(ksp));

@@ -5,9 +5,15 @@
 // Paper anchors (t8): Vayu 963 s, DCC 1486 s, EC2 812 s, EC2-4 646 s.
 // Expected shape: Vayu near-linear; DCC less; EC2 poor; EC2-4 always
 // significantly faster below 64 cores (at 32 cores nearly 2x).
+//
+// Sweep points run concurrently on the parallel driver (`--jobs N` or
+// CIRRUS_JOBS); the output is identical for every jobs value.
 #include <cstdio>
+#include <string>
+#include <vector>
 
 #include "apps/metum/metum.hpp"
+#include "core/driver.hpp"
 #include "core/options.hpp"
 #include "core/table.hpp"
 
@@ -32,12 +38,6 @@ int main(int argc, char** argv) {
   using namespace cirrus;
   const int np_list[] = {8, 16, 24, 32, 48, 64};
 
-  core::Figure fig;
-  fig.id = "fig6";
-  fig.title = "Speedup of UM ('warmed' execution time) over 8 cores";
-  fig.xlabel = "Number of Cores";
-  fig.ylabel = "Speedup over 8 cores";
-
   struct Config {
     const char* label;
     const char* platform;
@@ -50,10 +50,16 @@ int main(int argc, char** argv) {
       {"EC2", "ec2", -1, "812"},
       {"EC2-4", "ec2", -4, "646"},
   };
+
+  struct Point {
+    const Config* config;
+    plat::Platform platform;
+    int np;
+    int rpn;
+  };
+  std::vector<Point> points;
   for (const auto& c : configs) {
     const auto platform = plat::by_name(c.platform);
-    core::Series s{c.label, {}};
-    double t8 = 0;
     for (const int np : np_list) {
       if (np > platform.total_slots()) continue;
       int rpn = c.max_rpn;
@@ -66,7 +72,28 @@ int main(int argc, char** argv) {
         const int nodes = np == 24 ? 3 : std::max(2, (np + 15) / 16);
         rpn = (np + nodes - 1) / nodes;
       }
-      const double t = warmed(platform, np, rpn);
+      points.push_back({&c, platform, np, rpn});
+    }
+  }
+
+  const std::vector<double> warmed_times = core::run_sweep<double>(
+      points.size(),
+      [&](std::size_t i) { return warmed(points[i].platform, points[i].np, points[i].rpn); },
+      opts.get_int("jobs", 0));
+
+  core::Figure fig;
+  fig.id = "fig6";
+  fig.title = "Speedup of UM ('warmed' execution time) over 8 cores";
+  fig.xlabel = "Number of Cores";
+  fig.ylabel = "Speedup over 8 cores";
+
+  std::size_t idx = 0;
+  for (const auto& c : configs) {
+    core::Series s{c.label, {}};
+    double t8 = 0;
+    while (idx < points.size() && points[idx].config == &c) {
+      const int np = points[idx].np;
+      const double t = warmed_times[idx++];
       if (np == 8) {
         t8 = t;
         std::printf("%s t8 = %.0f s (paper %s)\n", c.label, t8, c.paper_t8);

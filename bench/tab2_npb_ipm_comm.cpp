@@ -5,23 +5,52 @@
 // Expected shape: %comm rises with np everywhere; DCC worst (GigE + jitter),
 // Vayu best; DCC jumps sharply at 16 ranks (two nodes); IS highest overall
 // (~98/85/68% at np=64 in the paper).
+//
+// Sweep points run concurrently on the parallel driver (`--jobs N` or
+// CIRRUS_JOBS); the table is identical for every jobs value.
 #include <cstdio>
+#include <vector>
 
+#include "core/driver.hpp"
+#include "core/options.hpp"
 #include "core/table.hpp"
 #include "npb/npb.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace cirrus;
+  const core::Options opts(argc, argv);
   const int np_list[] = {2, 4, 8, 16, 32, 64};
+  const char* benches[] = {"CG", "FT", "IS"};
+  const auto platforms = plat::study_platforms();
+
+  struct Point {
+    const char* bench;
+    const plat::Platform* platform;
+    int np;
+  };
+  std::vector<Point> points;
+  for (const int np : np_list) {
+    for (const char* bench : benches) {
+      for (const auto& platform : platforms) points.push_back({bench, &platform, np});
+    }
+  }
+
+  const std::vector<double> comm_pct = core::run_sweep<double>(
+      points.size(),
+      [&](std::size_t i) {
+        const Point& p = points[i];
+        return npb::run_benchmark(p.bench, npb::Class::B, *p.platform, p.np, /*execute=*/false)
+            .ipm.comm_pct();
+      },
+      opts.get_int("jobs", 0));
+
   core::Table t({"np", "CG dcc", "CG ec2", "CG vayu", "FT dcc", "FT ec2", "FT vayu", "IS dcc",
                  "IS ec2", "IS vayu"});
+  std::size_t idx = 0;
   for (const int np : np_list) {
     t.row().add(np);
-    for (const char* bench : {"CG", "FT", "IS"}) {
-      for (const auto& platform : plat::study_platforms()) {
-        const auto r = npb::run_benchmark(bench, npb::Class::B, platform, np, /*execute=*/false);
-        t.add(r.ipm.comm_pct(), 1);
-      }
+    for (std::size_t b = 0; b < std::size(benches); ++b) {
+      for (std::size_t p = 0; p < platforms.size(); ++p) t.add(comm_pct[idx++], 1);
     }
   }
   std::printf("## tab2: IPM %%comm for selected NPB class B benchmarks\n%s", t.str().c_str());

@@ -6,6 +6,7 @@
 #include <deque>
 #include <map>
 #include <tuple>
+#include <unordered_map>
 
 namespace cirrus::mpi {
 
@@ -18,7 +19,12 @@ struct RequestState {
   double sys_frac = 0.0;
 };
 
-/// An in-flight message as seen by the receiver side.
+struct Mailbox;
+
+/// An in-flight message as seen by the receiver side. While in flight it is a
+/// pooled object scheduled as a raw engine event: the routing fields
+/// (job/mailbox/dst_world) are resolved at send time so delivery needs no
+/// lookups and no closure allocation.
 struct Envelope {
   int src = 0;  // comm rank of the sender
   int tag = 0;
@@ -30,6 +36,11 @@ struct Envelope {
   int src_node = 0;
   std::shared_ptr<RequestState> sreq;  // rendezvous sender completion
   double sys_frac = 0.0;
+  std::uint64_t seq = 0;  // per-mailbox arrival order (wildcard arbitration)
+  // Delivery routing, valid while the envelope rides the event queue.
+  Job* job = nullptr;
+  Mailbox* mailbox = nullptr;
+  int dst_world = 0;
 };
 
 struct PostedRecv {
@@ -38,11 +49,7 @@ struct PostedRecv {
   std::byte* buf = nullptr;
   std::size_t bytes = 0;
   std::shared_ptr<RequestState> rreq;
-};
-
-struct Mailbox {
-  std::deque<Envelope> unexpected;
-  std::deque<PostedRecv> posted;
+  std::uint64_t seq = 0;  // per-mailbox post order (wildcard arbitration)
 };
 
 bool matches(int want_src, int want_tag, int src, int tag) {
@@ -50,10 +57,174 @@ bool matches(int want_src, int want_tag, int src, int tag) {
          (want_tag == kAnyTag || want_tag == tag);
 }
 
+/// Packs a concrete (source rank, tag) pair into one hash key.
+inline std::uint64_t match_key(int src, int tag) noexcept {
+  return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(src)) << 32) |
+         static_cast<std::uint32_t>(tag);
+}
+
+/// One rank's receive state on one communicator.
+///
+/// MPI matching is FIFO per (source, tag) with wildcard receives ordered
+/// against exact ones by post time. Both sides of the match are therefore
+/// bucketed by the concrete (source, tag) key — O(1) for the exact-match
+/// fast path — while wildcard receives sit in a separate FIFO; monotonic
+/// per-mailbox sequence numbers arbitrate exact-vs-wildcard so the outcome
+/// is identical to scanning one combined queue in arrival/post order.
+struct Mailbox {
+  std::unordered_map<std::uint64_t, std::deque<Envelope>> unexpected;
+  std::unordered_map<std::uint64_t, std::deque<PostedRecv>> posted_exact;
+  std::deque<PostedRecv> posted_wild;  // src and/or tag wildcarded
+  std::uint64_t next_arrival_seq = 0;
+  std::uint64_t next_post_seq = 0;
+  // Emptied buckets are erased (collectives allocate a fresh tag per call, so
+  // stale keys would otherwise accumulate without bound) but their deque
+  // allocations are parked here and re-used for the next bucket.
+  std::vector<std::deque<Envelope>> spare_env;
+  std::vector<std::deque<PostedRecv>> spare_recv;
+};
+
+/// Bucket accessor that recycles deque storage through `spare`.
+template <typename V>
+std::deque<V>& bucket_get(std::unordered_map<std::uint64_t, std::deque<V>>& m, std::uint64_t key,
+                          std::vector<std::deque<V>>& spare) {
+  auto it = m.find(key);
+  if (it == m.end()) {
+    if (!spare.empty()) {
+      it = m.emplace(key, std::move(spare.back())).first;
+      spare.pop_back();
+    } else {
+      it = m.emplace(key, std::deque<V>()).first;
+    }
+  }
+  return it->second;
+}
+
+/// Pops a bucket's head; an emptied bucket is erased with its storage parked.
+template <typename V, typename It>
+void bucket_pop(std::unordered_map<std::uint64_t, std::deque<V>>& m, It it,
+                std::vector<std::deque<V>>& spare) {
+  it->second.pop_front();
+  if (it->second.empty()) {
+    if (spare.size() < 8) spare.push_back(std::move(it->second));
+    m.erase(it);
+  }
+}
+
+/// Recycles byte buffers (eager payloads, collective scratch) so steady-state
+/// simulation does not touch the allocator. Single-threaded by construction:
+/// one pool per Job, one engine thread per Job.
+class BufferPool {
+ public:
+  /// An empty vector whose capacity is recycled; fill with assign/resize.
+  std::vector<std::byte> acquire() {
+    if (free_.empty()) return {};
+    std::vector<std::byte> v = std::move(free_.back());
+    free_.pop_back();
+    v.clear();
+    return v;
+  }
+  /// A vector of exactly `bytes` size (contents unspecified).
+  std::vector<std::byte> acquire(std::size_t bytes) {
+    std::vector<std::byte> v = acquire();
+    v.resize(bytes);
+    return v;
+  }
+  void release(std::vector<std::byte>&& v) noexcept {
+    if (v.capacity() == 0 || free_.size() >= kMaxPooled) return;
+    free_.push_back(std::move(v));
+  }
+
+ private:
+  static constexpr std::size_t kMaxPooled = 128;
+  std::vector<std::vector<std::byte>> free_;
+};
+
+/// Fixed-size block recycler backing std::allocate_shared<RequestState>: the
+/// shared_ptr control block and the state are one allocation, and that
+/// allocation is reused across requests. Single-threaded, one pool per Job.
+class RequestPool {
+ public:
+  RequestPool() = default;
+  RequestPool(const RequestPool&) = delete;
+  RequestPool& operator=(const RequestPool&) = delete;
+  ~RequestPool() {
+    for (void* p : free_) ::operator delete(p);
+  }
+
+  static constexpr std::size_t kMaxFree = 1024;
+  std::vector<void*> free_;
+  std::size_t block_size = 0;  // set on first allocation
+};
+
+template <typename T>
+struct RequestPoolAlloc {
+  using value_type = T;
+
+  explicit RequestPoolAlloc(RequestPool* p) noexcept : pool(p) {}
+  template <typename U>
+  RequestPoolAlloc(const RequestPoolAlloc<U>& o) noexcept : pool(o.pool) {}
+
+  T* allocate(std::size_t n) {
+    if (n == 1) {
+      if (pool->block_size == 0) pool->block_size = sizeof(T);
+      if (pool->block_size == sizeof(T) && !pool->free_.empty()) {
+        T* p = static_cast<T*>(pool->free_.back());
+        pool->free_.pop_back();
+        return p;
+      }
+    }
+    return static_cast<T*>(::operator new(n * sizeof(T)));
+  }
+  void deallocate(T* p, std::size_t n) noexcept {
+    if (n == 1 && sizeof(T) == pool->block_size && pool->free_.size() < RequestPool::kMaxFree) {
+      pool->free_.push_back(p);
+      return;
+    }
+    ::operator delete(p);
+  }
+  template <typename U>
+  bool operator==(const RequestPoolAlloc<U>& o) const noexcept {
+    return pool == o.pool;
+  }
+
+  RequestPool* pool;
+};
+
+/// RAII lease of a BufferPool vector. Default-constructed = no buffer (the
+/// model-mode "no data" case); data() is then nullptr.
+class PooledBytes {
+ public:
+  PooledBytes() = default;
+  PooledBytes(BufferPool& pool, std::size_t bytes) : pool_(&pool), buf_(pool.acquire(bytes)) {}
+  ~PooledBytes() {
+    if (pool_ != nullptr) pool_->release(std::move(buf_));
+  }
+  PooledBytes(const PooledBytes&) = delete;
+  PooledBytes& operator=(const PooledBytes&) = delete;
+
+  /// Late acquisition for buffers whose size is only known mid-function.
+  void reset(BufferPool& pool, std::size_t bytes) {
+    if (pool_ != nullptr) pool_->release(std::move(buf_));
+    pool_ = &pool;
+    buf_ = pool.acquire(bytes);
+  }
+
+  [[nodiscard]] std::byte* data() noexcept { return pool_ != nullptr ? buf_.data() : nullptr; }
+  [[nodiscard]] std::vector<std::byte>& vec() noexcept { return buf_; }
+
+ private:
+  BufferPool* pool_ = nullptr;
+  std::vector<std::byte> buf_;
+};
+
 }  // namespace detail
 
+using detail::BufferPool;
 using detail::Envelope;
 using detail::Mailbox;
+using detail::match_key;
+using detail::PooledBytes;
 using detail::PostedRecv;
 using detail::RequestState;
 
@@ -98,7 +269,35 @@ class Job {
     return placement[static_cast<std::size_t>(world_rank)].node;
   }
 
-  Mailbox& mailbox(int comm_id, int world_rank) { return mail_[{comm_id, world_rank}]; }
+  Mailbox& mailbox(int comm_id, int world_rank) {
+    // Note: unordered_map guarantees value-address stability under rehash, so
+    // the returned reference (and pointers cached from it) stays valid.
+    return mail_[(static_cast<std::uint64_t>(static_cast<std::uint32_t>(comm_id)) << 32) |
+                 static_cast<std::uint32_t>(world_rank)];
+  }
+
+  /// Pooled in-flight envelope shells; addresses are stable (deque) so an
+  /// Envelope* can ride the engine's raw event path.
+  Envelope* acquire_envelope() {
+    if (env_free_.empty()) {
+      env_slab_.emplace_back();
+      return &env_slab_.back();
+    }
+    Envelope* env = env_free_.back();
+    env_free_.pop_back();
+    return env;
+  }
+  void release_envelope(Envelope* env) {
+    buffers.release(std::move(env->payload));
+    *env = Envelope{};
+    env_free_.push_back(env);
+  }
+
+  /// A fresh RequestState whose storage (state + shared_ptr control block)
+  /// is recycled through a per-job pool.
+  std::shared_ptr<RequestState> make_request() {
+    return std::allocate_shared<RequestState>(detail::RequestPoolAlloc<RequestState>(&rs_pool_));
+  }
 
   /// Allocates a consistent communicator id for a (parent, seq, color) group.
   int split_comm_id(int parent_id, int seq, int color) {
@@ -125,12 +324,17 @@ class Job {
   /// One byte per world rank: fibers interleave on one OS thread, so this
   /// must be per-rank state, never thread-local.
   std::vector<char> in_coll;
+  /// Recycled eager-payload and collective-scratch storage.
+  BufferPool buffers;
 
  private:
-  std::map<std::pair<int, int>, Mailbox> mail_;
+  std::unordered_map<std::uint64_t, Mailbox> mail_;  // key: comm_id << 32 | world rank
   std::map<std::tuple<int, int, int>, int> split_ids_;
   std::map<std::pair<int, int>, std::vector<std::array<int, 3>>> split_boards_;
   int next_comm_id_ = 1;
+  std::deque<Envelope> env_slab_;
+  std::vector<Envelope*> env_free_;
+  detail::RequestPool rs_pool_;
 };
 
 // ---------------------------------------------------------------------------
@@ -165,27 +369,59 @@ void start_rendezvous_transfer(Job& job, Envelope& env, const PostedRecv& pr, in
   job.engine.schedule_at(timing.arrival + cts, [&job, rreq] { complete_request(job, rreq); });
 }
 
-/// Delivers an envelope at the receiver: match a posted recv or queue it.
-void deliver(Job& job, int comm_id, int dst_world, int dst_comm_rank, Envelope&& env) {
-  (void)dst_comm_rank;
-  Mailbox& mb = job.mailbox(comm_id, dst_world);
-  for (auto it = mb.posted.begin(); it != mb.posted.end(); ++it) {
-    if (detail::matches(it->src, it->tag, env.src, env.tag)) {
-      PostedRecv pr = *it;
-      mb.posted.erase(it);
-      if (env.rendezvous) {
-        start_rendezvous_transfer(job, env, pr, job.node_of(dst_world));
-      } else {
-        if (env.has_data && pr.buf != nullptr) {
-          std::memcpy(pr.buf, env.payload.data(), std::min(env.bytes, pr.bytes));
-        }
-        pr.rreq->sys_frac = env.sys_frac;
-        complete_request(job, pr.rreq);
-      }
-      return;
+/// Completes a matched (envelope, posted recv) pair at the receiver.
+void consume_match(Job& job, int dst_world, Envelope&& env, const PostedRecv& pr) {
+  if (env.rendezvous) {
+    start_rendezvous_transfer(job, env, pr, job.node_of(dst_world));
+  } else {
+    if (env.has_data && pr.buf != nullptr) {
+      std::memcpy(pr.buf, env.payload.data(), std::min(env.bytes, pr.bytes));
     }
+    pr.rreq->sys_frac = env.sys_frac;
+    complete_request(job, pr.rreq);
   }
-  mb.unexpected.push_back(std::move(env));
+  job.buffers.release(std::move(env.payload));
+}
+
+/// Delivers an envelope at the receiver: match the earliest-posted matching
+/// receive (exact bucket head vs wildcard FIFO, arbitrated by post sequence)
+/// or queue the envelope as unexpected. Routing was resolved at send time.
+void deliver(Job& job, Envelope&& env) {
+  const int dst_world = env.dst_world;
+  Mailbox& mb = *env.mailbox;
+
+  auto exact_it = mb.posted_exact.find(match_key(env.src, env.tag));
+  const PostedRecv* exact = exact_it != mb.posted_exact.end() && !exact_it->second.empty()
+                                ? &exact_it->second.front()
+                                : nullptr;
+  auto wild_it = mb.posted_wild.begin();
+  for (; wild_it != mb.posted_wild.end(); ++wild_it) {
+    if (detail::matches(wild_it->src, wild_it->tag, env.src, env.tag)) break;
+  }
+  const PostedRecv* wild = wild_it != mb.posted_wild.end() ? &*wild_it : nullptr;
+
+  if (exact != nullptr && (wild == nullptr || exact->seq < wild->seq)) {
+    PostedRecv pr = std::move(exact_it->second.front());
+    detail::bucket_pop(mb.posted_exact, exact_it, mb.spare_recv);
+    consume_match(job, dst_world, std::move(env), pr);
+  } else if (wild != nullptr) {
+    PostedRecv pr = std::move(*wild_it);
+    mb.posted_wild.erase(wild_it);
+    consume_match(job, dst_world, std::move(env), pr);
+  } else {
+    env.seq = mb.next_arrival_seq++;
+    detail::bucket_get(mb.unexpected, match_key(env.src, env.tag), mb.spare_env)
+        .push_back(std::move(env));
+  }
+}
+
+/// Raw engine-event trampoline for message arrival: ctx is a pooled
+/// Envelope*, returned to the pool once delivery (or queueing) is done.
+void deliver_event(void* ctx) {
+  auto* env = static_cast<Envelope*>(ctx);
+  Job& job = *env->job;
+  deliver(job, std::move(*env));
+  job.release_envelope(env);
 }
 
 }  // namespace
@@ -196,6 +432,13 @@ void deliver(Job& job, int comm_id, int dst_world, int dst_comm_rank, Envelope&&
 
 Comm::Comm(Job& job, int comm_id, std::vector<int> group, int rank)
     : job_(&job), comm_id_(comm_id), group_(std::move(group)), rank_(rank) {}
+
+Mailbox& Comm::peer_mailbox(int comm_rank) {
+  if (peer_mail_.empty()) peer_mail_.assign(group_.size(), nullptr);
+  Mailbox*& mb = peer_mail_[static_cast<std::size_t>(comm_rank)];
+  if (mb == nullptr) mb = &job_->mailbox(comm_id_, world_rank_of(comm_rank));
+  return *mb;
+}
 
 bool Comm::in_collective() const noexcept {
   return job_->in_coll[static_cast<std::size_t>(world_rank_of(rank_))] != 0;
@@ -223,60 +466,70 @@ void Comm::p2p_send(int dst, int tag, const void* data, std::size_t bytes, ipm::
   sim::Process& proc = *job.procs[static_cast<std::size_t>(src_world)];
   const sim::SimTime t0 = job.engine.now();
 
-  auto sreq = std::make_shared<RequestState>();
-  sreq->bytes = bytes;
-  sreq->sys_frac = job.network.sys_frac(src_node, dst_node);
+  const double sys_frac = job.network.sys_frac(src_node, dst_node);
 
-  Envelope env;
-  env.src = rank_;
-  env.tag = tag;
-  env.bytes = bytes;
-  env.src_node = src_node;
-  env.sys_frac = sreq->sys_frac;
+  Envelope* env = job.acquire_envelope();
+  env->job = &job;
+  env->mailbox = &peer_mailbox(dst);
+  env->dst_world = dst_world;
+  env->src = rank_;
+  env->tag = tag;
+  env->bytes = bytes;
+  env->src_node = src_node;
+  env->sys_frac = sys_frac;
 
   const bool eager = bytes <= job.config.eager_threshold_bytes;
-  const int comm_id = comm_id_;
+  // Blocking eager sends complete locally the moment the NIC is free, so they
+  // need no RequestState at all; one is allocated (pooled) only when a Request
+  // handle escapes the call. A blocking rendezvous send cannot return before
+  // its completion event fires, so its state can live on this very stack frame
+  // — the aliasing shared_ptr has no control block and costs no refcounting.
+  RequestState stack_rs;
+  std::shared_ptr<RequestState> sreq;
   if (eager) {
     const auto timing = job.network.transfer(src_node, dst_node, bytes);
     if (data != nullptr) {
       const auto* p = static_cast<const std::byte*>(data);
-      env.payload.assign(p, p + bytes);
-      env.has_data = true;
+      env->payload = job.buffers.acquire();
+      env->payload.assign(p, p + bytes);
+      env->has_data = true;
     }
-    job.engine.schedule_at(timing.arrival, [&job, comm_id, dst_world, dst, e = std::move(env)]() mutable {
-      deliver(job, comm_id, dst_world, dst, std::move(e));
-    });
+    sim::EngineInternal::schedule_raw(job.engine, timing.arrival, &deliver_event, env);
     if (timing.sender_free > t0) {
       job.engine.wake_at(proc, timing.sender_free);
       proc.suspend();
     }
-    complete_request(job, sreq);  // buffer is reusable once injected
+    if (out != nullptr) {
+      sreq = job.make_request();
+      sreq->bytes = bytes;
+      sreq->sys_frac = sys_frac;
+      sreq->done = true;  // buffer is reusable once injected
+    }
   } else {
-    env.rendezvous = true;
-    env.sender_data = static_cast<const std::byte*>(data);
-    env.sreq = sreq;
+    if (blocking && out == nullptr) {
+      sreq = std::shared_ptr<RequestState>(std::shared_ptr<void>(), &stack_rs);
+    } else {
+      sreq = job.make_request();
+    }
+    sreq->bytes = bytes;
+    sreq->sys_frac = sys_frac;
+    env->rendezvous = true;
+    env->sender_data = static_cast<const std::byte*>(data);
+    env->sreq = sreq;
     const sim::SimTime rts = job.engine.now() + job.network.control_delay(src_node, dst_node);
-    job.engine.schedule_at(rts, [&job, comm_id, dst_world, dst, e = std::move(env)]() mutable {
-      deliver(job, comm_id, dst_world, dst, std::move(e));
-    });
+    sim::EngineInternal::schedule_raw(job.engine, rts, &deliver_event, env);
   }
 
-  Request req(sreq);
-  if (blocking) {
+  if (blocking && sreq != nullptr) {
+    Request req(sreq);
     wait_internal(req);
-    if (!in_collective()) {
-      job.recorders[static_cast<std::size_t>(src_world)].add_mpi(
-          kind, bytes, job.engine.now() - t0, sreq->sys_frac);
-      job.record_span(src_world, t0, ipm::TraceEvent::Kind::Mpi, kind, bytes, dst);
-    }
-  } else {
-    if (!in_collective()) {
-      job.recorders[static_cast<std::size_t>(src_world)].add_mpi(
-          kind, bytes, job.engine.now() - t0, sreq->sys_frac);
-      job.record_span(src_world, t0, ipm::TraceEvent::Kind::Mpi, kind, bytes, dst);
-    }
   }
-  if (out != nullptr) *out = req;
+  if (!in_collective()) {
+    job.recorders[static_cast<std::size_t>(src_world)].add_mpi(kind, bytes,
+                                                               job.engine.now() - t0, sys_frac);
+    job.record_span(src_world, t0, ipm::TraceEvent::Kind::Mpi, kind, bytes, dst);
+  }
+  if (out != nullptr) *out = Request(sreq);
 }
 
 Request Comm::p2p_recv(int src, int tag, void* data, std::size_t bytes, ipm::CallKind kind,
@@ -286,44 +539,71 @@ Request Comm::p2p_recv(int src, int tag, void* data, std::size_t bytes, ipm::Cal
   const int my_world = world_rank_of(rank_);
   const sim::SimTime t0 = job.engine.now();
 
-  auto rreq = std::make_shared<RequestState>();
+  // A blocking receive cannot return before its completion wake, so its state
+  // can live on this stack frame (aliasing shared_ptr: no control block, no
+  // refcount traffic). Non-blocking receives hand out a real pooled state.
+  RequestState stack_rs;
+  std::shared_ptr<RequestState> rreq =
+      blocking ? std::shared_ptr<RequestState>(std::shared_ptr<void>(), &stack_rs)
+               : job.make_request();
   rreq->bytes = bytes;
 
-  Mailbox& mb = job.mailbox(comm_id_, my_world);
-  bool matched = false;
-  for (auto it = mb.unexpected.begin(); it != mb.unexpected.end(); ++it) {
-    if (detail::matches(src, tag, it->src, it->tag)) {
-      Envelope env = std::move(*it);
-      mb.unexpected.erase(it);
-      if (env.rendezvous) {
-        PostedRecv pr{src, tag, static_cast<std::byte*>(data), bytes, rreq};
-        start_rendezvous_transfer(job, env, pr, job.node_of(my_world));
-      } else {
-        if (env.has_data && data != nullptr) {
-          std::memcpy(data, env.payload.data(), std::min(env.bytes, bytes));
-        }
-        rreq->sys_frac = env.sys_frac;
-        complete_request(job, rreq);
+  Mailbox& mb = peer_mailbox(rank_);
+  // Find the earliest-arrived matching unexpected envelope. Exact (src, tag):
+  // the head of that bucket. Wildcard: the minimum arrival sequence over the
+  // heads of matching buckets (each bucket is FIFO, so heads suffice).
+  auto bucket_it = mb.unexpected.end();
+  if (src != kAnySource && tag != kAnyTag) {
+    auto it = mb.unexpected.find(match_key(src, tag));
+    if (it != mb.unexpected.end() && !it->second.empty()) bucket_it = it;
+  } else {
+    std::uint64_t best_seq = 0;
+    for (auto it = mb.unexpected.begin(); it != mb.unexpected.end(); ++it) {
+      if (it->second.empty()) continue;
+      const Envelope& head = it->second.front();
+      if (!detail::matches(src, tag, head.src, head.tag)) continue;
+      if (bucket_it == mb.unexpected.end() || head.seq < best_seq) {
+        bucket_it = it;
+        best_seq = head.seq;
       }
-      matched = true;
-      break;
     }
   }
-  if (!matched) {
-    mb.posted.push_back(PostedRecv{src, tag, static_cast<std::byte*>(data), bytes, rreq});
+  if (bucket_it != mb.unexpected.end()) {
+    Envelope env = std::move(bucket_it->second.front());
+    detail::bucket_pop(mb.unexpected, bucket_it, mb.spare_env);
+    if (env.rendezvous) {
+      PostedRecv pr{src, tag, static_cast<std::byte*>(data), bytes, rreq, 0};
+      start_rendezvous_transfer(job, env, pr, job.node_of(my_world));
+    } else {
+      if (env.has_data && data != nullptr) {
+        std::memcpy(data, env.payload.data(), std::min(env.bytes, bytes));
+      }
+      rreq->sys_frac = env.sys_frac;
+      complete_request(job, rreq);
+    }
+    job.buffers.release(std::move(env.payload));
+  } else {
+    PostedRecv pr{src, tag, static_cast<std::byte*>(data), bytes, rreq, mb.next_post_seq++};
+    if (src != kAnySource && tag != kAnyTag) {
+      detail::bucket_get(mb.posted_exact, match_key(src, tag), mb.spare_recv)
+          .push_back(std::move(pr));
+    } else {
+      mb.posted_wild.push_back(std::move(pr));
+    }
   }
 
-  Request req(rreq);
+  Request req(std::move(rreq));
   if (blocking) {
     wait_internal(req);
   }
   if (!in_collective()) {
     job.recorders[static_cast<std::size_t>(my_world)].add_mpi(kind, bytes,
                                                               job.engine.now() - t0,
-                                                              rreq->sys_frac);
+                                                              req.state_->sys_frac);
     job.record_span(my_world, t0, ipm::TraceEvent::Kind::Mpi, kind, bytes, src);
   }
-  return req;
+  // A blocking receive's state lives on this frame; never let it escape.
+  return blocking ? Request() : req;
 }
 
 void Comm::wait_internal(Request& req) {
@@ -390,10 +670,15 @@ void Comm::sendrecv_bytes(int dst, int stag, const void* sdata, std::size_t sbyt
 }
 
 bool Comm::iprobe(int src, int tag) const {
-  const Mailbox& mb =
-      const_cast<Job*>(job_)->mailbox(comm_id_, world_rank_of(rank_));
-  for (const auto& env : mb.unexpected) {
-    if (detail::matches(src, tag, env.src, env.tag)) return true;
+  const Mailbox& mb = job_->mailbox(comm_id_, world_rank_of(rank_));
+  if (src != kAnySource && tag != kAnyTag) {
+    const auto it = mb.unexpected.find(match_key(src, tag));
+    return it != mb.unexpected.end() && !it->second.empty();
+  }
+  for (const auto& [key, bucket] : mb.unexpected) {
+    if (bucket.empty()) continue;
+    const Envelope& head = bucket.front();
+    if (detail::matches(src, tag, head.src, head.tag)) return true;
   }
   return false;
 }
@@ -460,8 +745,7 @@ void Comm::bcast_bytes(void* data, std::size_t bytes, int root) {
     const std::size_t each = bytes / static_cast<std::size_t>(np);
     const std::size_t remainder = bytes - each * static_cast<std::size_t>(np);
     auto* bytes_ptr = static_cast<std::byte*>(data);
-    std::vector<std::byte> piece;
-    if (data != nullptr) piece.resize(each);
+    PooledBytes piece = data != nullptr ? PooledBytes(job_->buffers, each) : PooledBytes();
     scatter_bytes(data, data != nullptr ? piece.data() : nullptr, each, root);
     allgather_bytes(data != nullptr ? piece.data() : nullptr, data, each);
     if (remainder > 0) {
@@ -504,13 +788,9 @@ void Comm::reduce_bytes(const void* in, void* out, std::size_t bytes, int root,
   CollTimer timer(*this, *job_, world_rank_of(rank_), ipm::CallKind::Reduce, bytes);
   CollGuard guard(job_->in_coll[static_cast<std::size_t>(world_rank_of(rank_))]);
   const bool have_data = in != nullptr;
-  std::vector<std::byte> acc;
-  std::vector<std::byte> scratch;
-  if (have_data) {
-    const auto* p = static_cast<const std::byte*>(in);
-    acc.assign(p, p + bytes);
-    scratch.resize(bytes);
-  }
+  PooledBytes acc = have_data ? PooledBytes(job_->buffers, bytes) : PooledBytes();
+  PooledBytes scratch = have_data ? PooledBytes(job_->buffers, bytes) : PooledBytes();
+  if (have_data) std::memcpy(acc.data(), in, bytes);
   if (np > 1) {
     const int tag = next_tag();
     const int vrank = (rank_ - root + np) % np;
@@ -542,12 +822,9 @@ void Comm::allreduce_bytes(const void* in, void* out, std::size_t bytes,
   CollTimer timer(*this, *job_, world_rank_of(rank_), ipm::CallKind::Allreduce, bytes);
   CollGuard guard(job_->in_coll[static_cast<std::size_t>(world_rank_of(rank_))]);
   const bool have_data = in != nullptr;
-  std::vector<std::byte> acc, scratch;
-  if (have_data) {
-    const auto* p = static_cast<const std::byte*>(in);
-    acc.assign(p, p + bytes);
-    scratch.resize(bytes);
-  }
+  PooledBytes acc = have_data ? PooledBytes(job_->buffers, bytes) : PooledBytes();
+  PooledBytes scratch = have_data ? PooledBytes(job_->buffers, bytes) : PooledBytes();
+  if (have_data) std::memcpy(acc.data(), in, bytes);
   if (np > 1) {
     const int tag = next_tag();
     // MPICH-style recursive doubling with a non-power-of-two fold.
@@ -701,11 +978,10 @@ void Comm::gather_bytes(const void* in, void* out, std::size_t bytes_each, int r
   for (int m = 1; m < np; m <<= 1) {
     if ((vrank & m) == 0) span = std::min(2 * m, np - vrank);
   }
-  std::vector<std::byte> scratch;
-  if (have_data) {
-    scratch.resize(static_cast<std::size_t>(span) * bytes_each);
-    std::memcpy(scratch.data(), in, bytes_each);
-  }
+  PooledBytes scratch =
+      have_data ? PooledBytes(job_->buffers, static_cast<std::size_t>(span) * bytes_each)
+                : PooledBytes();
+  if (have_data) std::memcpy(scratch.data(), in, bytes_each);
   int held = 1;
   for (int mask = 1; mask < np; mask <<= 1) {
     if (vrank & mask) {
@@ -742,7 +1018,7 @@ void Comm::scatter_bytes(const void* in, void* out, std::size_t bytes_each, int 
 
   // Binomial scatter: the root's buffer is reordered to vrank order, then
   // subtree blocks flow down the tree.
-  std::vector<std::byte> scratch;
+  PooledBytes scratch;
   int my_span;
   int first_mask;  // the mask used to reach me from my parent
   if (vrank == 0) {
@@ -751,7 +1027,7 @@ void Comm::scatter_bytes(const void* in, void* out, std::size_t bytes_each, int 
     my_span = np;
     if (have_data) {
       const auto* i = static_cast<const std::byte*>(in);
-      scratch.resize(static_cast<std::size_t>(np) * bytes_each);
+      scratch.reset(job_->buffers, static_cast<std::size_t>(np) * bytes_each);
       for (int v = 0; v < np; ++v) {
         std::memcpy(scratch.data() + static_cast<std::size_t>(v) * bytes_each,
                     i + static_cast<std::size_t>(real(v)) * bytes_each, bytes_each);
@@ -760,7 +1036,7 @@ void Comm::scatter_bytes(const void* in, void* out, std::size_t bytes_each, int 
   } else {
     first_mask = vrank & (-vrank);  // lowest set bit
     my_span = std::min(first_mask, np - vrank);
-    if (have_data) scratch.resize(static_cast<std::size_t>(my_span) * bytes_each);
+    if (have_data) scratch.reset(job_->buffers, static_cast<std::size_t>(my_span) * bytes_each);
     recv_bytes(real(vrank - first_mask), tag, have_data ? scratch.data() : nullptr,
          static_cast<std::size_t>(my_span) * bytes_each);
   }
@@ -786,18 +1062,20 @@ void Comm::reduce_scatter_block_bytes(const void* in, void* out, std::size_t byt
   const bool have_data = in != nullptr;
   if (!pow2) {
     // Fallback: full reduce at rank 0, then scatter.
-    std::vector<std::byte> full;
-    if (have_data && rank_ == 0) full.resize(bytes_each * static_cast<std::size_t>(np));
+    PooledBytes full;
+    if (have_data && rank_ == 0) {
+      full.reset(job_->buffers, bytes_each * static_cast<std::size_t>(np));
+    }
     reduce_bytes(in, rank_ == 0 ? full.data() : nullptr, bytes_each * static_cast<std::size_t>(np),
                  0, op);
     scatter_bytes(rank_ == 0 ? full.data() : nullptr, out, bytes_each, 0);
     return;
   }
-  std::vector<std::byte> buf, tmp;
+  PooledBytes buf, tmp;
   if (have_data) {
-    const auto* p = static_cast<const std::byte*>(in);
-    buf.assign(p, p + bytes_each * static_cast<std::size_t>(np));
-    tmp.resize(bytes_each * static_cast<std::size_t>(np / 2 == 0 ? 1 : np / 2));
+    buf.reset(job_->buffers, bytes_each * static_cast<std::size_t>(np));
+    std::memcpy(buf.data(), in, bytes_each * static_cast<std::size_t>(np));
+    tmp.reset(job_->buffers, bytes_each * static_cast<std::size_t>(np / 2 == 0 ? 1 : np / 2));
   }
   const int tag = next_tag();
   int lo = 0;
@@ -823,12 +1101,9 @@ void Comm::scan_bytes(const void* in, void* out, std::size_t bytes,
   CollTimer timer(*this, *job_, world_rank_of(rank_), ipm::CallKind::Reduce, bytes);
   CollGuard guard(job_->in_coll[static_cast<std::size_t>(world_rank_of(rank_))]);
   const bool have_data = in != nullptr;
-  std::vector<std::byte> acc, scratch;
-  if (have_data) {
-    const auto* p = static_cast<const std::byte*>(in);
-    acc.assign(p, p + bytes);
-    scratch.resize(bytes);
-  }
+  PooledBytes acc = have_data ? PooledBytes(job_->buffers, bytes) : PooledBytes();
+  PooledBytes scratch = have_data ? PooledBytes(job_->buffers, bytes) : PooledBytes();
+  if (have_data) std::memcpy(acc.data(), in, bytes);
   if (np > 1) {
     // Hillis–Steele inclusive scan: log2 rounds; rank r receives from
     // r - 2^k and sends to r + 2^k.
@@ -844,12 +1119,12 @@ void Comm::scan_bytes(const void* in, void* out, std::size_t bytes,
       }
       if (to < np) wait_internal(sreq);
       if (from >= 0 && have_data && op) {
-        // Received partial covers [from-k+1 .. from]; combine on the right.
-        std::vector<std::byte> tmp(scratch);
-        op(tmp.data(), acc.data(), bytes);
-        // op(a, b) computes a = a (+) b elementwise; order is irrelevant for
-        // the commutative ops we expose.
-        acc.swap(tmp);
+        // Received partial covers [from-k+1 .. from]; combine it (in place)
+        // with acc, then swap the roles of the two buffers. op(a, b) computes
+        // a = a (+) b elementwise; order is irrelevant for the commutative
+        // ops we expose.
+        op(scratch.data(), acc.data(), bytes);
+        acc.vec().swap(scratch.vec());
       }
     }
   }
@@ -1014,6 +1289,7 @@ JobResult run_job(const JobConfig& config, const std::function<void(RankEnv&)>& 
   job.engine.run();
 
   JobResult result;
+  result.events_processed = job.engine.events_processed();
   result.ipm = ipm::JobReport(std::move(job.recorders));
   result.elapsed_seconds = result.ipm.wall_seconds();
   result.values = std::move(job.values);

@@ -46,6 +46,7 @@ JobResult run_job(const JobConfig& config, const std::function<void(RankEnv&)>& 
 
 namespace detail {
 struct RequestState;
+struct Mailbox;
 /// Element-wise combine: acc[i] = op(acc[i], in[i]) over `bytes` of raw data.
 using Combiner = std::function<void(std::byte* acc, const std::byte* in, std::size_t bytes)>;
 template <typename T>
@@ -201,12 +202,16 @@ class Comm {
   void bcast_short(void* data, std::size_t bytes, int root);
   [[nodiscard]] int world_rank_of(int r) const { return group_[static_cast<std::size_t>(r)]; }
   int next_tag() noexcept;
+  /// Cached per-peer mailbox pointer (mailbox addresses are stable), so the
+  /// send/recv hot path skips the job-wide hash lookup.
+  detail::Mailbox& peer_mailbox(int comm_rank);
 
   Job* job_;
   int comm_id_;
   std::vector<int> group_;  // comm rank -> world rank
   int rank_;                // my rank within this comm
   int coll_seq_ = 0;        // per-rank collective sequence (consistent by MPI rules)
+  std::vector<detail::Mailbox*> peer_mail_;  // lazy, comm rank -> mailbox
 };
 
 /// Traits + placement + profiling facade handed to each rank's body.
@@ -277,6 +282,9 @@ struct JobConfig {
 /// Result of a simulated job.
 struct JobResult {
   double elapsed_seconds = 0;  ///< job wall clock (virtual)
+  /// Simulator events executed for this job — a determinism fingerprint:
+  /// any change to scheduling or message matching shows up here.
+  std::uint64_t events_processed = 0;
   ipm::JobReport ipm;
   std::map<std::string, double> values;  ///< app-reported scalars
   /// Span trace (null unless JobConfig::enable_trace was set).

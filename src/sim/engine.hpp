@@ -3,12 +3,19 @@
 // A single OS thread multiplexes any number of simulated processes (fibers).
 // Events are executed in strict (time, sequence) order, so a given program +
 // seed always produces bit-identical virtual timings.
+//
+// Scheduling order is maintained by a 4-ary min-heap of small self-contained
+// entries; callback state lives in a chunked slab whose slots are recycled
+// through a free list and whose addresses never move. Process wake-ups — the
+// dominant event kind (Process::advance, message completions) — carry only a
+// Process pointer and never touch the allocator; generic callbacks keep their
+// std::function in the slab slot, whose storage is reused across events.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <queue>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -81,6 +88,7 @@ class Engine {
   [[nodiscard]] SimTime now() const noexcept { return now_; }
   [[nodiscard]] Rng& rng() noexcept { return rng_; }
   [[nodiscard]] std::uint64_t events_processed() const noexcept { return events_processed_; }
+  [[nodiscard]] std::size_t events_pending() const noexcept { return heap_.size(); }
 
   /// Creates a process whose body starts executing (at the current virtual
   /// time) once run() reaches its start event. The reference stays valid for
@@ -96,12 +104,15 @@ class Engine {
 
   /// Wakes a process blocked in Process::suspend(), at time `when`. It is a
   /// logic error to wake a process that is not (or will not then be) blocked.
+  /// Allocation-free: the event carries only the process pointer.
   void wake_at(Process& p, SimTime when);
   void wake(Process& p) { wake_at(p, now_); }
 
   /// Runs the simulation until the event queue is empty. Throws
   /// DeadlockError if processes remain blocked afterwards; rethrows the
-  /// first exception escaping any process body.
+  /// first exception escaping any process body. On such an exception the
+  /// engine is left in a defined state: all pending events are drained
+  /// (their callbacks destroyed, never run) before the rethrow.
   void run();
 
   /// Number of processes that have been spawned (finished or not).
@@ -110,27 +121,90 @@ class Engine {
  private:
   friend class Process;
 
-  struct Event {
+  static constexpr std::uint32_t kNil = 0xFFFFFFFFu;
+
+  /// A pending event, stored inline in the heap array. The full sort key
+  /// (when, seq) lives in the entry, so sift comparisons never leave the
+  /// heap's contiguous storage. `payload` is tagged in its low 3 bits:
+  ///   0       → a Process* to enter (wake and process-start events);
+  ///   1       → a callback slab index, idx << 3 | 1;
+  ///   2..7    → a raw event: tag-2 indexes raw_table_, and the upper bits
+  ///             hold the 8-aligned context pointer.
+  /// Wake and raw events are fully allocation-free; only std::function
+  /// callbacks occupy a recycled slab slot.
+  struct HeapEntry {
     SimTime when;
     std::uint64_t seq;
-    std::function<void()> fn;
-  };
-  struct EventLater {
-    bool operator()(const Event& a, const Event& b) const noexcept {
-      return a.when != b.when ? a.when > b.when : a.seq > b.seq;
-    }
+    std::uintptr_t payload;
   };
 
+  /// One callback slab slot. Free slots chain via `next_free` and keep their
+  /// `fn` storage, so a recycled slot's std::function can reuse its heap
+  /// buffer for the next callback of similar capture size.
+  struct FnSlot {
+    std::function<void()> fn;
+    std::uint32_t next_free = kNil;
+  };
+
+  /// Slab chunk size. Chunked storage keeps slot addresses stable, so growing
+  /// the slab never moves live std::functions and a callback can be invoked
+  /// in place while new events are being scheduled.
+  static constexpr std::size_t kSlabChunk = 256;
+
+  static constexpr std::uintptr_t kTagMask = 7u;
+  static unsigned payload_tag(std::uintptr_t payload) noexcept {
+    return static_cast<unsigned>(payload & kTagMask);
+  }
+  static std::uint32_t fn_index(std::uintptr_t payload) noexcept {
+    return static_cast<std::uint32_t>(payload >> 3);
+  }
+  static bool entry_before(const HeapEntry& a, const HeapEntry& b) noexcept {
+    return a.when != b.when ? a.when < b.when : a.seq < b.seq;
+  }
+
   void enter(Process& p);  // switch into a process's fiber
+  void heap_push(HeapEntry entry);
+  HeapEntry heap_pop();
+  void push_process_event(SimTime when, Process& p);
+  std::uint32_t alloc_slot();
+  void free_slot(std::uint32_t idx) noexcept;
+  FnSlot& slot(std::uint32_t idx) noexcept {
+    return slab_[idx / kSlabChunk][idx % kSlabChunk];
+  }
+  /// Destroys all pending events without running them (exception cleanup).
+  void drain_pending() noexcept;
+
+  /// Internal non-allocating variant of schedule_at: the event is a plain
+  /// function pointer plus an 8-aligned context pointer, packed into the
+  /// heap entry itself — no slab slot, no std::function. The caller owns
+  /// `ctx` and must keep it alive until the event fires (or the engine is
+  /// destroyed; a drained raw event is simply dropped). At most 6 distinct
+  /// function pointers ride this path per engine; further ones fall back to
+  /// schedule_at transparently.
+  void schedule_raw(SimTime when, void (*fn)(void*), void* ctx);
+  friend struct EngineInternal;
 
   Options opts_;
   Rng rng_;
   SimTime now_ = 0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t events_processed_ = 0;
-  std::priority_queue<Event, std::vector<Event>, EventLater> queue_;
+  std::vector<HeapEntry> heap_;  // 4-ary min-heap, ordered by (when, seq)
+  std::vector<std::unique_ptr<FnSlot[]>> slab_;  // chunked, stable callback storage
+  std::uint32_t slab_size_ = 0;
+  std::uint32_t free_head_ = kNil;
+  std::array<void (*)(void*), 6> raw_table_{};  // distinct raw event functions
   std::vector<std::unique_ptr<Process>> processes_;
   Process* current_ = nullptr;
+};
+
+/// Backdoor for the simulator's own subsystems (minimpi message delivery):
+/// exposes the raw fn-pointer event path, which schedules without constructing
+/// a std::function. Not part of the public API.
+struct EngineInternal {
+  static void schedule_raw(Engine& e, SimTime when, void (*fn)(void*), void* ctx) {
+    e.schedule_raw(when, fn, ctx);
+  }
 };
 
 }  // namespace cirrus::sim

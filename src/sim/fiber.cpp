@@ -20,9 +20,49 @@ void cirrus_fiber_entry(void* fiber);
 }
 #endif
 
+// AddressSanitizer tracks a shadow of the current stack; switching stacks
+// behind its back makes it read garbage shadow and report false positives
+// (or miss real bugs). These hooks tell it about every switch. The protocol:
+// the departing context calls start_switch (saving its fake-stack state and
+// naming the target stack), and the arriving context immediately calls
+// finish_switch (restoring its own fake-stack state, learning the departed
+// context's stack bounds).
+#if defined(__SANITIZE_ADDRESS__)
+#define CIRRUS_ASAN_FIBERS 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define CIRRUS_ASAN_FIBERS 1
+#endif
+#endif
+
+#if defined(CIRRUS_ASAN_FIBERS)
+extern "C" {
+void __sanitizer_start_switch_fiber(void** fake_stack_save, const void* bottom, size_t size);
+void __sanitizer_finish_switch_fiber(void* fake_stack_save, const void** bottom_old,
+                                     size_t* size_old);
+void __asan_unpoison_memory_region(void const volatile* addr, size_t size);
+}
+#endif
+
 namespace cirrus::sim {
 
 namespace {
+
+inline void asan_before_switch([[maybe_unused]] void** fake_save,
+                               [[maybe_unused]] const void* target_bottom,
+                               [[maybe_unused]] std::size_t target_size) {
+#if defined(CIRRUS_ASAN_FIBERS)
+  __sanitizer_start_switch_fiber(fake_save, target_bottom, target_size);
+#endif
+}
+
+inline void asan_after_switch([[maybe_unused]] void* fake_save,
+                              [[maybe_unused]] const void** from_bottom,
+                              [[maybe_unused]] std::size_t* from_size) {
+#if defined(CIRRUS_ASAN_FIBERS)
+  __sanitizer_finish_switch_fiber(fake_save, from_bottom, from_size);
+#endif
+}
 
 std::size_t page_size() {
   static const std::size_t sz = static_cast<std::size_t>(::sysconf(_SC_PAGESIZE));
@@ -61,6 +101,8 @@ Fiber::Fiber(std::function<void()> body, std::size_t stack_bytes) : body_(std::m
 
   auto* const top = static_cast<std::uint8_t*>(stack_mapping_) + mapping_bytes_;
   assert(reinterpret_cast<std::uintptr_t>(top) % 16 == 0);
+  asan_stack_bottom_ = static_cast<std::uint8_t*>(stack_mapping_) + pg;
+  asan_stack_size_ = usable;
 
 #if defined(CIRRUS_USE_UCONTEXT)
   if (::getcontext(&fiber_ctx_) != 0) {
@@ -108,18 +150,28 @@ Fiber::~Fiber() {
   // unwound, so anything they own leaks. This is only reachable on fatal
   // error paths.
   if (stack_mapping_ != nullptr) {
+#if defined(CIRRUS_ASAN_FIBERS)
+    // Shadow memory outlives the mapping: scrub our redzones so the next
+    // fiber whose stack mmap lands on this range starts with clean shadow.
+    __asan_unpoison_memory_region(asan_stack_bottom_, asan_stack_size_);
+#endif
     ::munmap(stack_mapping_, mapping_bytes_);
   }
 }
 
 void Fiber::run_body() noexcept {
+  // First arrival on this stack: no fake-stack state to restore yet, but
+  // record who resumed us so yield() can name the return target.
+  asan_after_switch(nullptr, &asan_caller_bottom_, &asan_caller_size_);
   try {
     body_();
   } catch (...) {
     error_ = std::current_exception();
   }
   finished_ = true;
-  // Hand control back to whoever resumed us, permanently.
+  // Hand control back to whoever resumed us, permanently. The null
+  // fake_stack_save tells ASan this fiber is done for good.
+  asan_before_switch(nullptr, asan_caller_bottom_, asan_caller_size_);
 #if defined(CIRRUS_USE_UCONTEXT)
   ::swapcontext(&fiber_ctx_, &engine_ctx_);
 #else
@@ -132,11 +184,14 @@ void Fiber::run_body() noexcept {
 void Fiber::resume() {
   assert(!finished_ && "resume() on a finished fiber");
   started_ = true;
+  void* fake = nullptr;  // this frame survives the switch; a local suffices
+  asan_before_switch(&fake, asan_stack_bottom_, asan_stack_size_);
 #if defined(CIRRUS_USE_UCONTEXT)
   ::swapcontext(&engine_ctx_, &fiber_ctx_);
 #else
   cirrus_ctx_switch(&engine_sp_, fiber_sp_);
 #endif
+  asan_after_switch(fake, nullptr, nullptr);
   if (error_) {
     std::exception_ptr e = std::exchange(error_, nullptr);
     std::rethrow_exception(e);
@@ -144,11 +199,16 @@ void Fiber::resume() {
 }
 
 void Fiber::yield() {
+  void* fake = nullptr;  // this frame survives the switch; a local suffices
+  asan_before_switch(&fake, asan_caller_bottom_, asan_caller_size_);
 #if defined(CIRRUS_USE_UCONTEXT)
   ::swapcontext(&fiber_ctx_, &engine_ctx_);
 #else
   cirrus_ctx_switch(&fiber_sp_, engine_sp_);
 #endif
+  // Re-entered: restore our fake stack and refresh the caller's bounds (the
+  // next resume() may come from a different frame).
+  asan_after_switch(fake, &asan_caller_bottom_, &asan_caller_size_);
 }
 
 }  // namespace cirrus::sim

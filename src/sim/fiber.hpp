@@ -64,6 +64,14 @@ class Fiber {
   bool started_ = false;
   std::exception_ptr error_;
 
+  // AddressSanitizer fiber bookkeeping (kept unconditionally so the ABI does
+  // not depend on sanitizer flags; only used when built with ASan). ASan must
+  // be told about every stack switch or it reads the wrong shadow memory.
+  void* asan_stack_bottom_ = nullptr;        // this fiber's usable stack base
+  std::size_t asan_stack_size_ = 0;
+  const void* asan_caller_bottom_ = nullptr; // resuming context's stack
+  std::size_t asan_caller_size_ = 0;
+
 #if defined(CIRRUS_USE_UCONTEXT)
   ucontext_t fiber_ctx_{};
   ucontext_t engine_ctx_{};

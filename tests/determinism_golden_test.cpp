@@ -1,0 +1,67 @@
+// Determinism regression: fixed-seed NPB CG/FT runs must produce these exact
+// simulated times and event counts, bit for bit.
+//
+// The golden values were captured from the original std::priority_queue /
+// deque-scan implementation and survived the 4-ary-heap engine and hashed
+// match-bucket rewrites unchanged. If a change to the engine, minimpi or the
+// network model alters event ordering — even without changing the physics —
+// these comparisons fail first. Update the constants only for an intentional
+// model change, never to "fix" an accidental reordering.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "npb/npb.hpp"
+
+namespace npb = cirrus::npb;
+namespace plat = cirrus::plat;
+
+namespace {
+
+struct Golden {
+  const char* bench;
+  std::uint64_t seed;
+  double execute_elapsed;   // class T, np=4, dcc, execute mode
+  std::uint64_t execute_events;
+  double model_elapsed;     // class B, np=16, ec2, model mode
+  std::uint64_t model_events;
+};
+
+// 17 significant digits: round-trips any double exactly.
+constexpr Golden kGolden[] = {
+    {"CG", 1, 0.023827264000000001, 15479, 52.552187443000001, 989026},
+    {"CG", 42, 0.024037914000000001, 15267, 51.081024513000003, 988962},
+    {"FT", 1, 0.026674674000000002, 480, 58.604077833000005, 29903},
+    {"FT", 42, 0.026708341, 475, 57.096830147000006, 29918},
+};
+
+}  // namespace
+
+TEST(DeterminismGolden, ExecuteModeBitIdentical) {
+  for (const auto& g : kGolden) {
+    const auto r =
+        npb::run_benchmark(g.bench, npb::Class::T, plat::by_name("dcc"), 4, /*execute=*/true,
+                           g.seed);
+    EXPECT_EQ(r.elapsed_seconds, g.execute_elapsed) << g.bench << " seed=" << g.seed;
+    EXPECT_EQ(r.events_processed, g.execute_events) << g.bench << " seed=" << g.seed;
+  }
+}
+
+TEST(DeterminismGolden, ModelModeBitIdentical) {
+  for (const auto& g : kGolden) {
+    const auto r =
+        npb::run_benchmark(g.bench, npb::Class::B, plat::by_name("ec2"), 16, /*execute=*/false,
+                           g.seed);
+    EXPECT_EQ(r.elapsed_seconds, g.model_elapsed) << g.bench << " seed=" << g.seed;
+    EXPECT_EQ(r.events_processed, g.model_events) << g.bench << " seed=" << g.seed;
+  }
+}
+
+TEST(DeterminismGolden, RepeatedRunsAreIdentical) {
+  // Same process, same seed, run twice: pooled allocators and recycled slab
+  // slots must not leak any state between jobs.
+  const auto a = npb::run_benchmark("CG", npb::Class::T, plat::by_name("dcc"), 4, true, 7);
+  const auto b = npb::run_benchmark("CG", npb::Class::T, plat::by_name("dcc"), 4, true, 7);
+  EXPECT_EQ(a.elapsed_seconds, b.elapsed_seconds);
+  EXPECT_EQ(a.events_processed, b.events_processed);
+}

@@ -1,0 +1,211 @@
+// Matching semantics of the hashed (source, tag) mailbox buckets: FIFO per
+// (source, tag) pair, any-source/any-tag wildcard arbitration against both
+// the unexpected queue and posted receives, and collectives on
+// non-power-of-two communicators (which stress odd bucket/tag patterns).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "mpi/minimpi.hpp"
+
+namespace mpi = cirrus::mpi;
+namespace plat = cirrus::plat;
+
+namespace {
+
+mpi::JobConfig cfg(int np) {
+  mpi::JobConfig c;
+  c.platform = plat::vayu();
+  c.np = np;
+  c.seed = 42;
+  c.name = "match-test";
+  return c;
+}
+
+}  // namespace
+
+TEST(MatchBuckets, FifoPerSourceTagPair) {
+  // Messages on one (source, tag) pair must be received in send order even
+  // when many sit unexpected, interleaved with traffic on other tags.
+  auto r = mpi::run_job(cfg(2), [](mpi::RankEnv& env) {
+    auto& c = env.world();
+    if (c.rank() == 0) {
+      for (int i = 0; i < 8; ++i) {
+        double v = 100 + i;
+        c.send(1, /*tag=*/5, &v, 1);
+        double w = 200 + i;
+        c.send(1, /*tag=*/6, &w, 1);
+      }
+    } else {
+      env.compute(0.001);  // let everything arrive unexpected first
+      for (int i = 0; i < 8; ++i) {
+        double v = 0;
+        c.recv(0, 5, &v, 1);
+        ASSERT_DOUBLE_EQ(v, 100 + i);
+      }
+      for (int i = 0; i < 8; ++i) {
+        double w = 0;
+        c.recv(0, 6, &w, 1);
+        ASSERT_DOUBLE_EQ(w, 200 + i);
+      }
+      env.report("ok", 1);
+    }
+  });
+  EXPECT_EQ(r.values.at("ok"), 1);
+}
+
+TEST(MatchBuckets, AnySourcePicksEarliestArrival) {
+  // Two senders with staggered start times; an any-source receive must match
+  // arrival order across buckets, not bucket iteration order.
+  auto r = mpi::run_job(cfg(3), [](mpi::RankEnv& env) {
+    auto& c = env.world();
+    if (c.rank() == 1) {
+      env.compute(0.002);  // rank 1 sends second
+      double v = 1;
+      c.send(0, 7, &v, 1);
+    } else if (c.rank() == 2) {
+      double v = 2;  // rank 2 sends first
+      c.send(0, 7, &v, 1);
+    } else {
+      env.compute(0.004);  // both messages are unexpected by now
+      double first = 0, second = 0;
+      c.recv(mpi::kAnySource, 7, &first, 1);
+      c.recv(mpi::kAnySource, 7, &second, 1);
+      env.report("first", first);
+      env.report("second", second);
+    }
+  });
+  EXPECT_DOUBLE_EQ(r.values.at("first"), 2);   // rank 2 arrived first
+  EXPECT_DOUBLE_EQ(r.values.at("second"), 1);  // rank 1 arrived second
+}
+
+TEST(MatchBuckets, AnyTagPicksEarliestArrival) {
+  auto r = mpi::run_job(cfg(2), [](mpi::RankEnv& env) {
+    auto& c = env.world();
+    if (c.rank() == 0) {
+      double v = 31;
+      c.send(1, /*tag=*/3, &v, 1);
+      env.compute(0.001);
+      v = 91;
+      c.send(1, /*tag=*/9, &v, 1);
+    } else {
+      env.compute(0.002);
+      double first = 0, second = 0;
+      c.recv(0, mpi::kAnyTag, &first, 1);
+      c.recv(0, mpi::kAnyTag, &second, 1);
+      env.report("first", first);
+      env.report("second", second);
+    }
+  });
+  EXPECT_DOUBLE_EQ(r.values.at("first"), 31);
+  EXPECT_DOUBLE_EQ(r.values.at("second"), 91);
+}
+
+TEST(MatchBuckets, WildcardAndExactPostedOrderRespected) {
+  // A message matches the earliest-posted receive among all candidates,
+  // whether that receive is exact or wildcard.
+  auto r = mpi::run_job(cfg(2), [](mpi::RankEnv& env) {
+    auto& c = env.world();
+    if (c.rank() == 0) {
+      env.compute(0.001);  // both receives are posted before the send lands
+      double v = 55;
+      c.send(1, 4, &v, 1);
+      v = 66;
+      c.send(1, 4, &v, 1);
+    } else {
+      double wild = 0, exact = 0;
+      mpi::Request rw = c.irecv(mpi::kAnySource, mpi::kAnyTag, &wild, 1);
+      mpi::Request re = c.irecv(0, 4, &exact, 1);
+      c.wait(rw);
+      c.wait(re);
+      // The wildcard was posted first, so it takes the first message.
+      env.report("wild", wild);
+      env.report("exact", exact);
+    }
+  });
+  EXPECT_DOUBLE_EQ(r.values.at("wild"), 55);
+  EXPECT_DOUBLE_EQ(r.values.at("exact"), 66);
+}
+
+TEST(MatchBuckets, ExactBeforeWildcardWins) {
+  auto r = mpi::run_job(cfg(2), [](mpi::RankEnv& env) {
+    auto& c = env.world();
+    if (c.rank() == 0) {
+      env.compute(0.001);
+      double v = 55;
+      c.send(1, 4, &v, 1);
+      v = 66;
+      c.send(1, 4, &v, 1);
+    } else {
+      double wild = 0, exact = 0;
+      mpi::Request re = c.irecv(0, 4, &exact, 1);
+      mpi::Request rw = c.irecv(mpi::kAnySource, mpi::kAnyTag, &wild, 1);
+      c.wait(re);
+      c.wait(rw);
+      env.report("wild", wild);
+      env.report("exact", exact);
+    }
+  });
+  EXPECT_DOUBLE_EQ(r.values.at("exact"), 55);
+  EXPECT_DOUBLE_EQ(r.values.at("wild"), 66);
+}
+
+TEST(MatchBuckets, ManyDistinctTagsReverseOrder) {
+  // The match-queue stress shape: N receives on distinct tags, messages
+  // arriving in reverse tag order. Every message must land in its own tag's
+  // buffer regardless of posting/arrival order.
+  constexpr int kTags = 100;
+  auto r = mpi::run_job(cfg(2), [](mpi::RankEnv& env) {
+    auto& c = env.world();
+    if (c.rank() == 0) {
+      for (int t = kTags - 1; t >= 0; --t) {
+        double v = 1000 + t;
+        c.send(1, t, &v, 1);
+      }
+    } else {
+      std::vector<double> got(kTags, 0);
+      std::vector<mpi::Request> reqs;
+      reqs.reserve(kTags);
+      for (int t = 0; t < kTags; ++t) reqs.push_back(c.irecv(0, t, &got[t], 1));
+      c.waitall(reqs);
+      int ok = 1;
+      for (int t = 0; t < kTags; ++t) {
+        if (got[t] != 1000 + t) ok = 0;
+      }
+      env.report("ok", ok);
+    }
+  });
+  EXPECT_EQ(r.values.at("ok"), 1);
+}
+
+TEST(MatchBuckets, NonPowerOfTwoCommunicatorCollectives) {
+  // np = 6 world split into a 5-rank sub-communicator: exercises the
+  // non-power-of-two branches of the dissemination/tree collectives, whose
+  // fresh-tag-per-call pattern churns the match buckets hardest.
+  auto r = mpi::run_job(cfg(6), [](mpi::RankEnv& env) {
+    auto& c = env.world();
+    double x = c.rank() + 1;
+    double sum = 0;
+    c.allreduce(&x, &sum, 1, mpi::Op::Sum);
+    if (c.rank() == 0) env.report("world_sum", sum);
+
+    auto sub = c.split(c.rank() < 5 ? 0 : 1, c.rank());
+    if (c.rank() < 5) {
+      double y = c.rank() + 1;
+      double subsum = 0;
+      sub->allreduce(&y, &subsum, 1, mpi::Op::Sum);
+      std::vector<double> all(static_cast<std::size_t>(sub->size()), 0);
+      sub->allgather(&y, all.data(), 1);
+      double gathered = 0;
+      for (double v : all) gathered += v;
+      if (sub->rank() == 0) {
+        env.report("sub_sum", subsum);
+        env.report("sub_gathered", gathered);
+      }
+    }
+    c.barrier();
+  });
+  EXPECT_DOUBLE_EQ(r.values.at("world_sum"), 21);     // 1+2+...+6
+  EXPECT_DOUBLE_EQ(r.values.at("sub_sum"), 15);       // 1+2+...+5
+  EXPECT_DOUBLE_EQ(r.values.at("sub_gathered"), 15);
+}
