@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext1_arrivef_prediction.dir/ext1_arrivef_prediction.cpp.o"
+  "CMakeFiles/ext1_arrivef_prediction.dir/ext1_arrivef_prediction.cpp.o.d"
+  "ext1_arrivef_prediction"
+  "ext1_arrivef_prediction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext1_arrivef_prediction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

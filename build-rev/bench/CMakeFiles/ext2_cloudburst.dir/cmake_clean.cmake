@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext2_cloudburst.dir/ext2_cloudburst.cpp.o"
+  "CMakeFiles/ext2_cloudburst.dir/ext2_cloudburst.cpp.o.d"
+  "ext2_cloudburst"
+  "ext2_cloudburst.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext2_cloudburst.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

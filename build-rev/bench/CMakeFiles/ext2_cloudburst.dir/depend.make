@@ -1,0 +1,2 @@
+# Empty dependencies file for ext2_cloudburst.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext3_model_ablation.dir/ext3_model_ablation.cpp.o"
+  "CMakeFiles/ext3_model_ablation.dir/ext3_model_ablation.cpp.o.d"
+  "ext3_model_ablation"
+  "ext3_model_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext3_model_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext4_spot_strategies.dir/ext4_spot_strategies.cpp.o"
+  "CMakeFiles/ext4_spot_strategies.dir/ext4_spot_strategies.cpp.o.d"
+  "ext4_spot_strategies"
+  "ext4_spot_strategies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext4_spot_strategies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

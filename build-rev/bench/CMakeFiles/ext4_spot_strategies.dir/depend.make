@@ -1,0 +1,2 @@
+# Empty dependencies file for ext4_spot_strategies.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig2_osu_latency.cpp" "bench/CMakeFiles/fig2_osu_latency.dir/fig2_osu_latency.cpp.o" "gcc" "bench/CMakeFiles/fig2_osu_latency.dir/fig2_osu_latency.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-rev/src/osu/CMakeFiles/cirrus_osu.dir/DependInfo.cmake"
+  "/root/repo/build-rev/src/core/CMakeFiles/cirrus_core.dir/DependInfo.cmake"
+  "/root/repo/build-rev/src/mpi/CMakeFiles/cirrus_mpi.dir/DependInfo.cmake"
+  "/root/repo/build-rev/src/net/CMakeFiles/cirrus_net.dir/DependInfo.cmake"
+  "/root/repo/build-rev/src/platform/CMakeFiles/cirrus_platform.dir/DependInfo.cmake"
+  "/root/repo/build-rev/src/ipm/CMakeFiles/cirrus_ipm.dir/DependInfo.cmake"
+  "/root/repo/build-rev/src/sim/CMakeFiles/cirrus_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_osu_latency.dir/fig2_osu_latency.cpp.o"
+  "CMakeFiles/fig2_osu_latency.dir/fig2_osu_latency.cpp.o.d"
+  "fig2_osu_latency"
+  "fig2_osu_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_osu_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_npb_serial.dir/fig3_npb_serial.cpp.o"
+  "CMakeFiles/fig3_npb_serial.dir/fig3_npb_serial.cpp.o.d"
+  "fig3_npb_serial"
+  "fig3_npb_serial.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_npb_serial.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig3_npb_serial.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_metum_scaling.dir/fig6_metum_scaling.cpp.o"
+  "CMakeFiles/fig6_metum_scaling.dir/fig6_metum_scaling.cpp.o.d"
+  "fig6_metum_scaling"
+  "fig6_metum_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_metum_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

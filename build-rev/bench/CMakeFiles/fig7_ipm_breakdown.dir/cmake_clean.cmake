@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_ipm_breakdown.dir/fig7_ipm_breakdown.cpp.o"
+  "CMakeFiles/fig7_ipm_breakdown.dir/fig7_ipm_breakdown.cpp.o.d"
+  "fig7_ipm_breakdown"
+  "fig7_ipm_breakdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_ipm_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab2_npb_ipm_comm.dir/tab2_npb_ipm_comm.cpp.o"
+  "CMakeFiles/tab2_npb_ipm_comm.dir/tab2_npb_ipm_comm.cpp.o.d"
+  "tab2_npb_ipm_comm"
+  "tab2_npb_ipm_comm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab2_npb_ipm_comm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for tab2_npb_ipm_comm.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab3_metum_ipm.dir/tab3_metum_ipm.cpp.o"
+  "CMakeFiles/tab3_metum_ipm.dir/tab3_metum_ipm.cpp.o.d"
+  "tab3_metum_ipm"
+  "tab3_metum_ipm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab3_metum_ipm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cardiac_demo.dir/cardiac_demo.cpp.o"
+  "CMakeFiles/cardiac_demo.dir/cardiac_demo.cpp.o.d"
+  "cardiac_demo"
+  "cardiac_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cardiac_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cirrus_run.dir/cirrus_run.cpp.o"
+  "CMakeFiles/cirrus_run.dir/cirrus_run.cpp.o.d"
+  "cirrus_run"
+  "cirrus_run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cirrus_run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/climate_forecast.dir/climate_forecast.cpp.o"
+  "CMakeFiles/climate_forecast.dir/climate_forecast.cpp.o.d"
+  "climate_forecast"
+  "climate_forecast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/climate_forecast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

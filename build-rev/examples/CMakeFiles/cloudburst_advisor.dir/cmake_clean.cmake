@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cloudburst_advisor.dir/cloudburst_advisor.cpp.o"
+  "CMakeFiles/cloudburst_advisor.dir/cloudburst_advisor.cpp.o.d"
+  "cloudburst_advisor"
+  "cloudburst_advisor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cloudburst_advisor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/npb_verify.dir/npb_verify.cpp.o"
+  "CMakeFiles/npb_verify.dir/npb_verify.cpp.o.d"
+  "npb_verify"
+  "npb_verify.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/npb_verify.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build-rev/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("sim")
+subdirs("net")
+subdirs("platform")
+subdirs("ipm")
+subdirs("mpi")
+subdirs("osu")
+subdirs("npb")
+subdirs("linalg")
+subdirs("apps/chaste")
+subdirs("apps/metum")
+subdirs("cloud")
+subdirs("core")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cirrus_chaste.dir/chaste.cpp.o"
+  "CMakeFiles/cirrus_chaste.dir/chaste.cpp.o.d"
+  "libcirrus_chaste.a"
+  "libcirrus_chaste.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cirrus_chaste.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

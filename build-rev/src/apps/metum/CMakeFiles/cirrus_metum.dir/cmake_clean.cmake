@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cirrus_metum.dir/metum.cpp.o"
+  "CMakeFiles/cirrus_metum.dir/metum.cpp.o.d"
+  "libcirrus_metum.a"
+  "libcirrus_metum.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cirrus_metum.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cirrus_cloud.dir/cloud.cpp.o"
+  "CMakeFiles/cirrus_cloud.dir/cloud.cpp.o.d"
+  "CMakeFiles/cirrus_cloud.dir/packaging.cpp.o"
+  "CMakeFiles/cirrus_cloud.dir/packaging.cpp.o.d"
+  "libcirrus_cloud.a"
+  "libcirrus_cloud.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cirrus_cloud.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/driver.cpp" "src/core/CMakeFiles/cirrus_core.dir/driver.cpp.o" "gcc" "src/core/CMakeFiles/cirrus_core.dir/driver.cpp.o.d"
+  "/root/repo/src/core/options.cpp" "src/core/CMakeFiles/cirrus_core.dir/options.cpp.o" "gcc" "src/core/CMakeFiles/cirrus_core.dir/options.cpp.o.d"
+  "/root/repo/src/core/table.cpp" "src/core/CMakeFiles/cirrus_core.dir/table.cpp.o" "gcc" "src/core/CMakeFiles/cirrus_core.dir/table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-rev/src/sim/CMakeFiles/cirrus_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cirrus_core.dir/driver.cpp.o"
+  "CMakeFiles/cirrus_core.dir/driver.cpp.o.d"
+  "CMakeFiles/cirrus_core.dir/options.cpp.o"
+  "CMakeFiles/cirrus_core.dir/options.cpp.o.d"
+  "CMakeFiles/cirrus_core.dir/table.cpp.o"
+  "CMakeFiles/cirrus_core.dir/table.cpp.o.d"
+  "libcirrus_core.a"
+  "libcirrus_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cirrus_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcirrus_core.a"
+)

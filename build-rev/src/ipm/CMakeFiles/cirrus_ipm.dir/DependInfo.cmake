@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ipm/ipm.cpp" "src/ipm/CMakeFiles/cirrus_ipm.dir/ipm.cpp.o" "gcc" "src/ipm/CMakeFiles/cirrus_ipm.dir/ipm.cpp.o.d"
+  "/root/repo/src/ipm/trace.cpp" "src/ipm/CMakeFiles/cirrus_ipm.dir/trace.cpp.o" "gcc" "src/ipm/CMakeFiles/cirrus_ipm.dir/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-rev/src/sim/CMakeFiles/cirrus_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cirrus_ipm.dir/ipm.cpp.o"
+  "CMakeFiles/cirrus_ipm.dir/ipm.cpp.o.d"
+  "CMakeFiles/cirrus_ipm.dir/trace.cpp.o"
+  "CMakeFiles/cirrus_ipm.dir/trace.cpp.o.d"
+  "libcirrus_ipm.a"
+  "libcirrus_ipm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cirrus_ipm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cirrus_linalg.dir/linalg.cpp.o"
+  "CMakeFiles/cirrus_linalg.dir/linalg.cpp.o.d"
+  "libcirrus_linalg.a"
+  "libcirrus_linalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cirrus_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cirrus_mpi.dir/minimpi.cpp.o"
+  "CMakeFiles/cirrus_mpi.dir/minimpi.cpp.o.d"
+  "libcirrus_mpi.a"
+  "libcirrus_mpi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cirrus_mpi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

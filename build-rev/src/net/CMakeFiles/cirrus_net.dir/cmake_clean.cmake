@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cirrus_net.dir/network.cpp.o"
+  "CMakeFiles/cirrus_net.dir/network.cpp.o.d"
+  "libcirrus_net.a"
+  "libcirrus_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cirrus_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/npb/cg.cpp" "src/npb/CMakeFiles/cirrus_npb.dir/cg.cpp.o" "gcc" "src/npb/CMakeFiles/cirrus_npb.dir/cg.cpp.o.d"
+  "/root/repo/src/npb/ep.cpp" "src/npb/CMakeFiles/cirrus_npb.dir/ep.cpp.o" "gcc" "src/npb/CMakeFiles/cirrus_npb.dir/ep.cpp.o.d"
+  "/root/repo/src/npb/ft.cpp" "src/npb/CMakeFiles/cirrus_npb.dir/ft.cpp.o" "gcc" "src/npb/CMakeFiles/cirrus_npb.dir/ft.cpp.o.d"
+  "/root/repo/src/npb/is.cpp" "src/npb/CMakeFiles/cirrus_npb.dir/is.cpp.o" "gcc" "src/npb/CMakeFiles/cirrus_npb.dir/is.cpp.o.d"
+  "/root/repo/src/npb/mg.cpp" "src/npb/CMakeFiles/cirrus_npb.dir/mg.cpp.o" "gcc" "src/npb/CMakeFiles/cirrus_npb.dir/mg.cpp.o.d"
+  "/root/repo/src/npb/npb.cpp" "src/npb/CMakeFiles/cirrus_npb.dir/npb.cpp.o" "gcc" "src/npb/CMakeFiles/cirrus_npb.dir/npb.cpp.o.d"
+  "/root/repo/src/npb/pseudo3d.cpp" "src/npb/CMakeFiles/cirrus_npb.dir/pseudo3d.cpp.o" "gcc" "src/npb/CMakeFiles/cirrus_npb.dir/pseudo3d.cpp.o.d"
+  "/root/repo/src/npb/randlc.cpp" "src/npb/CMakeFiles/cirrus_npb.dir/randlc.cpp.o" "gcc" "src/npb/CMakeFiles/cirrus_npb.dir/randlc.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-rev/src/mpi/CMakeFiles/cirrus_mpi.dir/DependInfo.cmake"
+  "/root/repo/build-rev/src/net/CMakeFiles/cirrus_net.dir/DependInfo.cmake"
+  "/root/repo/build-rev/src/platform/CMakeFiles/cirrus_platform.dir/DependInfo.cmake"
+  "/root/repo/build-rev/src/ipm/CMakeFiles/cirrus_ipm.dir/DependInfo.cmake"
+  "/root/repo/build-rev/src/sim/CMakeFiles/cirrus_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cirrus_npb.dir/cg.cpp.o"
+  "CMakeFiles/cirrus_npb.dir/cg.cpp.o.d"
+  "CMakeFiles/cirrus_npb.dir/ep.cpp.o"
+  "CMakeFiles/cirrus_npb.dir/ep.cpp.o.d"
+  "CMakeFiles/cirrus_npb.dir/ft.cpp.o"
+  "CMakeFiles/cirrus_npb.dir/ft.cpp.o.d"
+  "CMakeFiles/cirrus_npb.dir/is.cpp.o"
+  "CMakeFiles/cirrus_npb.dir/is.cpp.o.d"
+  "CMakeFiles/cirrus_npb.dir/mg.cpp.o"
+  "CMakeFiles/cirrus_npb.dir/mg.cpp.o.d"
+  "CMakeFiles/cirrus_npb.dir/npb.cpp.o"
+  "CMakeFiles/cirrus_npb.dir/npb.cpp.o.d"
+  "CMakeFiles/cirrus_npb.dir/pseudo3d.cpp.o"
+  "CMakeFiles/cirrus_npb.dir/pseudo3d.cpp.o.d"
+  "CMakeFiles/cirrus_npb.dir/randlc.cpp.o"
+  "CMakeFiles/cirrus_npb.dir/randlc.cpp.o.d"
+  "libcirrus_npb.a"
+  "libcirrus_npb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cirrus_npb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

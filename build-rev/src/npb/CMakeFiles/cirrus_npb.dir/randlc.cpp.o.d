@@ -1,0 +1,3 @@
+src/npb/CMakeFiles/cirrus_npb.dir/randlc.cpp.o: \
+ /root/repo/src/npb/randlc.cpp /usr/include/stdc-predef.h \
+ /root/repo/src/npb/randlc.hpp

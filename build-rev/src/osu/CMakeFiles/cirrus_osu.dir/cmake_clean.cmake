@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cirrus_osu.dir/osu.cpp.o"
+  "CMakeFiles/cirrus_osu.dir/osu.cpp.o.d"
+  "libcirrus_osu.a"
+  "libcirrus_osu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cirrus_osu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

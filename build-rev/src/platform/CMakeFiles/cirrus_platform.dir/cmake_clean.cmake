@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cirrus_platform.dir/platform.cpp.o"
+  "CMakeFiles/cirrus_platform.dir/platform.cpp.o.d"
+  "libcirrus_platform.a"
+  "libcirrus_platform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cirrus_platform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

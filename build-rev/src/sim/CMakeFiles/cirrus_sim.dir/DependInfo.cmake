@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  "ASM"
+  )
+# The set of files for implicit dependencies of each language:
+set(CMAKE_DEPENDS_CHECK_ASM
+  "/root/repo/src/sim/fiber_x86_64.S" "/root/repo/build-rev/src/sim/CMakeFiles/cirrus_sim.dir/fiber_x86_64.S.o"
+  )
+set(CMAKE_ASM_COMPILER_ID "GNU")
+
+# The include file search paths:
+set(CMAKE_ASM_TARGET_INCLUDE_PATH
+  "/root/repo/src"
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/engine.cpp" "src/sim/CMakeFiles/cirrus_sim.dir/engine.cpp.o" "gcc" "src/sim/CMakeFiles/cirrus_sim.dir/engine.cpp.o.d"
+  "/root/repo/src/sim/fiber.cpp" "src/sim/CMakeFiles/cirrus_sim.dir/fiber.cpp.o" "gcc" "src/sim/CMakeFiles/cirrus_sim.dir/fiber.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cirrus_sim.dir/engine.cpp.o"
+  "CMakeFiles/cirrus_sim.dir/engine.cpp.o.d"
+  "CMakeFiles/cirrus_sim.dir/fiber.cpp.o"
+  "CMakeFiles/cirrus_sim.dir/fiber.cpp.o.d"
+  "CMakeFiles/cirrus_sim.dir/fiber_x86_64.S.o"
+  "libcirrus_sim.a"
+  "libcirrus_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang ASM CXX)
+  include(CMakeFiles/cirrus_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_driver_test.dir/core_driver_test.cpp.o"
+  "CMakeFiles/core_driver_test.dir/core_driver_test.cpp.o.d"
+  "core_driver_test"
+  "core_driver_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_driver_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

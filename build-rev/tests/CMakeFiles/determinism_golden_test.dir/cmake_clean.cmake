@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/determinism_golden_test.dir/determinism_golden_test.cpp.o"
+  "CMakeFiles/determinism_golden_test.dir/determinism_golden_test.cpp.o.d"
+  "determinism_golden_test"
+  "determinism_golden_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/determinism_golden_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ipm_test.dir/ipm_test.cpp.o"
+  "CMakeFiles/ipm_test.dir/ipm_test.cpp.o.d"
+  "ipm_test"
+  "ipm_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ipm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpi_match_bucket_test.dir/mpi_match_bucket_test.cpp.o"
+  "CMakeFiles/mpi_match_bucket_test.dir/mpi_match_bucket_test.cpp.o.d"
+  "mpi_match_bucket_test"
+  "mpi_match_bucket_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpi_match_bucket_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

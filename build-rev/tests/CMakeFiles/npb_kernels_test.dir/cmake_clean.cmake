@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/npb_kernels_test.dir/npb_kernels_test.cpp.o"
+  "CMakeFiles/npb_kernels_test.dir/npb_kernels_test.cpp.o.d"
+  "npb_kernels_test"
+  "npb_kernels_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/npb_kernels_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

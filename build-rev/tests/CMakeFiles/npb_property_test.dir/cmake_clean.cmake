@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/npb_property_test.dir/npb_property_test.cpp.o"
+  "CMakeFiles/npb_property_test.dir/npb_property_test.cpp.o.d"
+  "npb_property_test"
+  "npb_property_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/npb_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

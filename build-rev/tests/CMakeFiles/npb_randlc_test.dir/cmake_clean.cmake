@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/npb_randlc_test.dir/npb_randlc_test.cpp.o"
+  "CMakeFiles/npb_randlc_test.dir/npb_randlc_test.cpp.o.d"
+  "npb_randlc_test"
+  "npb_randlc_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/npb_randlc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

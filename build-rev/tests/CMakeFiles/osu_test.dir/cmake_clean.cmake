@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/osu_test.dir/osu_test.cpp.o"
+  "CMakeFiles/osu_test.dir/osu_test.cpp.o.d"
+  "osu_test"
+  "osu_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/osu_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_fiber_test.dir/sim_fiber_test.cpp.o"
+  "CMakeFiles/sim_fiber_test.dir/sim_fiber_test.cpp.o.d"
+  "sim_fiber_test"
+  "sim_fiber_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_fiber_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_rng_test.dir/sim_rng_test.cpp.o"
+  "CMakeFiles/sim_rng_test.dir/sim_rng_test.cpp.o.d"
+  "sim_rng_test"
+  "sim_rng_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_rng_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
