@@ -9,14 +9,22 @@
 // Common options: --platform vayu|dcc|ec2  --np N  --rpn ranks-per-node
 //                 --seed S  --execute  --eager BYTES  --ipm (full summary)
 //                 --trace FILE (write a chrome://tracing JSON span trace)
+// Faults:         --mtbf SECONDS (per-node crash MTBF; job restarts from the
+//                 last checkpoint)  --ckpt SECONDS (checkpoint interval)
+//                 --requeue SECONDS (restart delay after a crash)
+//                 With --trace, the merged multi-attempt timeline — including
+//                 each killed attempt's partial spans — goes to one file.
+#include <algorithm>
 #include <cstdio>
 #include <fstream>
+#include <functional>
 #include <string>
 
 #include "apps/chaste/chaste.hpp"
 #include "apps/metum/metum.hpp"
 #include "core/options.hpp"
 #include "core/table.hpp"
+#include "fault/fault.hpp"
 #include "npb/npb.hpp"
 #include "osu/osu.hpp"
 
@@ -29,7 +37,8 @@ int usage(const char* prog) {
                "usage: %s npb|osu|metum|chaste [--platform vayu|dcc|ec2] [--np N]\n"
                "  npb:    --bench BT|EP|CG|FT|IS|LU|MG|SP --class T|S|W|A|B|C [--execute]\n"
                "  osu:    --test bw|lat\n"
-               "  common: --rpn ranks-per-node --seed S --eager bytes --ipm\n",
+               "  common: --rpn ranks-per-node --seed S --eager bytes --ipm\n"
+               "  faults: --mtbf seconds --ckpt seconds --requeue seconds\n",
                prog);
   return 2;
 }
@@ -45,6 +54,36 @@ mpi::JobConfig base_config(const core::Options& opts) {
       static_cast<std::size_t>(opts.get_int("eager", 16 * 1024));
   cfg.enable_trace = opts.has("trace");
   return cfg;
+}
+
+/// Runs the job, under injected node crashes with checkpoint/restart when
+/// --mtbf or --ckpt is given; plain run_job otherwise.
+mpi::JobResult run_maybe_resilient(mpi::JobConfig cfg,
+                                   const std::function<void(mpi::RankEnv&)>& body,
+                                   const core::Options& opts) {
+  const double mtbf = opts.get_double("mtbf", 0.0);
+  const double ckpt = opts.get_double("ckpt", 0.0);
+  if (mtbf <= 0 && ckpt <= 0) return mpi::run_job(cfg, body);
+
+  cfg.checkpoint_interval_s = ckpt;
+  const auto placement =
+      plat::place_block(cfg.platform, cfg.np, cfg.max_ranks_per_node, cfg.traits, cfg.seed);
+  int nodes = 1;
+  for (const auto& p : placement) nodes = std::max(nodes, p.node + 1);
+
+  fault::FaultModel model;
+  model.crash_mtbf_s = mtbf;
+  const auto schedule = fault::FaultSchedule::generate(
+      model, nodes, opts.get_double("horizon", 30.0 * 86400), cfg.seed + 0x5EED);
+  fault::ResilientOptions ropts;
+  ropts.requeue_delay_s = opts.get_double("requeue", 60.0);
+  const auto run = fault::run_resilient(cfg, body, schedule, ropts);
+  std::printf(
+      "faults: %d attempt(s), %d crash(es), %.1f s lost work, %.1f s restart delay, "
+      "%d checkpoint(s); makespan %.3f s\n",
+      run.attempts, run.faults_hit, run.lost_work_s, run.restart_delay_s,
+      run.checkpoints_taken, run.makespan_s);
+  return run.result;
 }
 
 void print_result(const mpi::JobResult& r, const std::string& name,
@@ -73,13 +112,16 @@ int run_npb(const core::Options& opts) {
   job.max_ranks_per_node = cfg.max_ranks_per_node;
   job.eager_threshold_bytes = cfg.eager_threshold_bytes;
   job.enable_trace = cfg.enable_trace;
-  const auto r = mpi::run_job(job, [&info, cls](mpi::RankEnv& env) {
-    const auto res = info.fn(env, cls);
-    if (env.rank() == 0) {
-      env.report("verified", res.verified ? 1.0 : 0.0);
-      env.report("verification_value", res.verification_value);
-    }
-  });
+  const auto r = run_maybe_resilient(
+      job,
+      [&info, cls](mpi::RankEnv& env) {
+        const auto res = info.fn(env, cls);
+        if (env.rank() == 0) {
+          env.report("verified", res.verified ? 1.0 : 0.0);
+          env.report("verification_value", res.verification_value);
+        }
+      },
+      opts);
   print_result(r, info.name + "." + std::string(1, npb::to_char(cls)) + "." +
                       std::to_string(cfg.np) + " on " + cfg.platform.name,
                opts);
@@ -112,7 +154,7 @@ int run_metum(const core::Options& opts) {
   auto cfg = base_config(opts);
   cfg.traits = metum::traits();
   cfg.name = "metum";
-  const auto r = mpi::run_job(cfg, [](mpi::RankEnv& env) { metum::run(env); });
+  const auto r = run_maybe_resilient(cfg, [](mpi::RankEnv& env) { metum::run(env); }, opts);
   print_result(r, "MetUM N320L70 on " + cfg.platform.name, opts);
   return 0;
 }
@@ -121,7 +163,7 @@ int run_chaste(const core::Options& opts) {
   auto cfg = base_config(opts);
   cfg.traits = chaste::traits();
   cfg.name = "chaste";
-  const auto r = mpi::run_job(cfg, [](mpi::RankEnv& env) { chaste::run(env); });
+  const auto r = run_maybe_resilient(cfg, [](mpi::RankEnv& env) { chaste::run(env); }, opts);
   print_result(r, "Chaste rabbit heart on " + cfg.platform.name, opts);
   return 0;
 }

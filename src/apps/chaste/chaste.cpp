@@ -58,8 +58,21 @@ Result run_execute(mpi::RankEnv& env, const Config& cfg) {
     ipm::Region r(env.ipm(), "InputMesh");
     env.io_read(static_cast<std::size_t>(cfg.mesh_file_bytes / 1000 / np), true);
   }
+  // Checkpointable state: the packed (V, w) pair — everything carried
+  // between timesteps.
+  std::vector<double> ck;
+  const std::size_t ck_bytes = 2 * nloc * sizeof(double);
+  int step0 = 0;
+  if (env.checkpointing()) {
+    ck.resize(2 * nloc);
+    if (const int done = env.restore_checkpoint(ck.data(), ck_bytes); done >= 0) {
+      std::copy_n(ck.begin(), nloc, V.begin());
+      std::copy_n(ck.begin() + static_cast<std::ptrdiff_t>(nloc), nloc, w.begin());
+      step0 = done + 1;
+    }
+  }
   bool bounded = true;
-  for (int step = 0; step < cfg.exec_timesteps; ++step) {
+  for (int step = step0; step < cfg.exec_timesteps; ++step) {
     {
       ipm::Region r(env.ipm(), "Ode");
       for (std::size_t i = 0; i < nloc; ++i) {
@@ -81,6 +94,11 @@ Result run_execute(mpi::RankEnv& env, const Config& cfg) {
     }
     for (const double v : V) {
       if (!(v > -1.0 && v < 2.0)) bounded = false;
+    }
+    if (env.checkpointing()) {
+      std::copy_n(V.begin(), nloc, ck.begin());
+      std::copy_n(w.begin(), nloc, ck.begin() + static_cast<std::ptrdiff_t>(nloc));
+      env.maybe_checkpoint(step, ck.data(), ck_bytes);
     }
   }
 
@@ -111,7 +129,20 @@ Result run_model(mpi::RankEnv& env, const Config& cfg) {
   const int np = comm.size();
   const double share = 1.0 / np;
 
-  {
+  // Checkpoint sizing: V, w and rhs over this rank's mesh share (sized but
+  // dataless in model mode). A restored run skips mesh input and setup.
+  const std::size_t state_bytes =
+      3 * static_cast<std::size_t>(static_cast<double>(cfg.mesh_nodes) / np) * sizeof(double);
+  int step0 = 0;
+  bool restored = false;
+  if (env.checkpointing()) {
+    if (const int done = env.restore_checkpoint(nullptr, state_bytes); done >= 0) {
+      step0 = done + 1;
+      restored = true;
+    }
+  }
+
+  if (!restored) {
     ipm::Region r(env.ipm(), "InputMesh");
     env.io_read(static_cast<std::size_t>(cfg.mesh_file_bytes / np), true);
     // Partitioning/setup is largely replicated: c(np) = a (1 + weight/np).
@@ -130,7 +161,7 @@ Result run_model(mpi::RankEnv& env, const Config& cfg) {
   const double ksp_per_iter =
       cfg.ref_ksp_seconds / (static_cast<double>(cfg.timesteps) * cfg.ksp_iters_per_step);
 
-  for (int step = 0; step < cfg.timesteps; ++step) {
+  for (int step = step0; step < cfg.timesteps; ++step) {
     {
       ipm::Region r(env.ipm(), "Ode");
       env.compute(ode_per_step * share);
@@ -160,6 +191,7 @@ Result run_model(mpi::RankEnv& env, const Config& cfg) {
       ipm::Region r(env.ipm(), "Output");
       env.io_write(static_cast<std::size_t>(cfg.output_bytes_per_step / np), true);
     }
+    if (env.checkpointing()) env.maybe_checkpoint(step, nullptr, state_bytes);
   }
 
   Result res;

@@ -81,7 +81,22 @@ Result run_model(mpi::RankEnv& env, const Config& cfg) {
   const double boost_norm =
       1.0 + cfg.tropics_work_boost * 0.5;  // half the bands are tropical
 
-  {
+  // Checkpoint sizing: ~8 prognostic full-level fields per rank (sized but
+  // dataless — model mode carries timing, not data). A restored run resumes
+  // from the checkpoint instead of re-reading the start dump.
+  const std::size_t state_bytes = 8 * static_cast<std::size_t>(lx) *
+                                  static_cast<std::size_t>(ly) *
+                                  static_cast<std::size_t>(cfg.nz) * sizeof(double);
+  int step0 = 0;
+  bool restored = false;
+  if (env.checkpointing()) {
+    if (const int done = env.restore_checkpoint(nullptr, state_bytes); done >= 0) {
+      step0 = done + 1;
+      restored = true;
+    }
+  }
+
+  if (!restored) {
     ipm::Region r(env.ipm(), "Read_Dump");
     if (rank == 0) env.io_read(static_cast<std::size_t>(cfg.dump_bytes), true);
     // Scatter of the dump fields to all ranks.
@@ -93,7 +108,7 @@ Result run_model(mpi::RankEnv& env, const Config& cfg) {
   const bool polar = band == 0 || band == py - 1;
 
   double warm_start = 0.0;
-  for (int step = 0; step < cfg.timesteps; ++step) {
+  for (int step = step0; step < cfg.timesteps; ++step) {
     if (step == cfg.warmup_steps) {
       comm.barrier();
       warm_start = env.now_seconds();
@@ -140,6 +155,7 @@ Result run_model(mpi::RankEnv& env, const Config& cfg) {
       v = comm.allreduce_one(v, mpi::Op::Sum);
       (void)comm.allreduce_one(v, mpi::Op::Max);
     }
+    if (env.checkpointing()) env.maybe_checkpoint(step, nullptr, state_bytes);
   }
   comm.barrier();
 
@@ -205,6 +221,18 @@ Result run_execute(mpi::RankEnv& env, const Config& cfg) {
     comm.barrier();
   }
 
+  // Checkpointable state: theta, the only field carried across steps. The
+  // restore comes after total0/lo0/hi0 are computed from the fresh initial
+  // condition, so the conservation verification still measures the whole
+  // run, restart included.
+  const std::size_t ck_bytes = theta.size() * sizeof(double);
+  int step0 = 0;
+  if (env.checkpointing()) {
+    if (const int done = env.restore_checkpoint(theta.data(), ck_bytes); done >= 0) {
+      step0 = done + 1;
+    }
+  }
+
   const double cx = 0.3;  // zonal CFL number (upwind-stable)
   const double cy = 0.2;
   std::vector<double> nv(theta.size());
@@ -215,7 +243,7 @@ Result run_execute(mpi::RankEnv& env, const Config& cfg) {
   la::Partition part{.n = static_cast<long long>(nx) * ny, .np = np};
   la::DistCsr helm = la::grid_laplacian_7pt(nx, ny, 1, /*shift=*/1.0, part, rank);
 
-  for (int step = 0; step < cfg.exec_timesteps; ++step) {
+  for (int step = step0; step < cfg.exec_timesteps; ++step) {
     ipm::Region atm(env.ipm(), "ATM_STEP");
     // Exchange N/S halos (real data).
     if (np > 1) {
@@ -279,6 +307,7 @@ Result run_execute(mpi::RankEnv& env, const Config& cfg) {
       const auto cg = la::cg_solve(env, helm, rhs, p, opts);
       solver_ok = solver_ok && cg.converged;
     }
+    if (env.checkpointing()) env.maybe_checkpoint(step, theta.data(), ck_bytes);
   }
 
   double total1 = 0, lo1 = 1e300, hi1 = -1e300;

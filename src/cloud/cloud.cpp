@@ -202,6 +202,8 @@ SpotRun run_on_spot(SpotMarket& market, double t0, double runtime_s, double bid,
     if (start < 0) {
       // Price never dips below the bid again: finish on-demand.
       out.cost_usd += on_demand_hourly_usd * instances * remaining / 3600.0;
+      out.on_demand_s = remaining;
+      out.finished_on_demand = true;
       now += remaining;
       remaining = 0;
       break;
@@ -220,11 +222,13 @@ SpotRun run_on_spot(SpotMarket& market, double t0, double runtime_s, double bid,
               ? std::floor(ran / checkpoint_interval_s) * checkpoint_interval_s
               : 0.0;
       out.cost_usd += market.cost(now, interrupted, instances);
+      out.lost_work_s += ran - kept;
       remaining -= kept;
       now = interrupted;
       ++out.interruptions;
     }
   }
+  out.attempts = out.interruptions + 1;
   out.finish_s = now;
   return out;
 }

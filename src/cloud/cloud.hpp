@@ -120,10 +120,18 @@ class SpotMarket {
 /// price<=bid windows, loses progress back to the last checkpoint on each
 /// interruption, and accumulates the integrated spot cost. Falls back to
 /// on-demand (price-capped) completion if the horizon is exhausted.
+/// Accounting of one spot execution. Filled identically by the analytic
+/// closed-form path below and by the simulated path (fault::run_on_spot), so
+/// results from either are directly comparable.
 struct SpotRun {
   double finish_s = 0;
   double cost_usd = 0;
   int interruptions = 0;
+  int attempts = 1;            ///< run attempts = interruptions + final run
+  double lost_work_s = 0;      ///< progress rolled back to the last checkpoint
+  double boot_overhead_s = 0;  ///< provisioning/boot time (0 on the analytic path)
+  double on_demand_s = 0;      ///< seconds completed on the on-demand fallback
+  bool finished_on_demand = false;
 };
 SpotRun run_on_spot(SpotMarket& market, double t0, double runtime_s, double bid,
                     double checkpoint_interval_s, int instances,

@@ -246,6 +246,19 @@ class Job {
     procs.resize(static_cast<std::size_t>(cfg.np), nullptr);
     in_coll.assign(static_cast<std::size_t>(cfg.np), 0);
     if (cfg.enable_trace) trace = std::make_shared<ipm::Trace>();
+    if (cfg.faults.any_link_hook()) {
+      network.set_fault_hooks(cfg.faults.link_bw_factor, cfg.faults.link_extra_latency_us);
+    }
+    if (cfg.faults.kill_at_s >= 0) {
+      // Node crash / spot reclaim: the thrown exception unwinds engine.run()
+      // (which drains all pending events first), killing every fiber. A job
+      // that already finished must not be killed by the late fault event.
+      engine.schedule_at(sim::from_seconds(cfg.faults.kill_at_s), [this] {
+        if (finished_ranks < config.np) {
+          throw JobKilledError(sim::to_seconds(engine.now()), trace);
+        }
+      });
+    }
   }
 
   void record_span(int world_rank, sim::SimTime t0, ipm::TraceEvent::Kind kind,
@@ -320,6 +333,7 @@ class Job {
   std::vector<ipm::RankRecorder> recorders;
   std::vector<sim::Process*> procs;
   std::map<std::string, double> values;
+  int finished_ranks = 0;
   /// Per-rank "inside a collective" flags (suppress inner p2p accounting).
   /// One byte per world rank: fibers interleave on one OS thread, so this
   /// must be per-rank state, never thread-local.
@@ -336,6 +350,39 @@ class Job {
   std::vector<Envelope*> env_free_;
   detail::RequestPool rs_pool_;
 };
+
+// ---------------------------------------------------------------------------
+// CheckpointStore.
+// ---------------------------------------------------------------------------
+
+void CheckpointStore::stage(int world_rank, int np, int step, const void* data,
+                            std::size_t bytes) {
+  if (static_cast<int>(staged_.size()) != np) {
+    staged_.assign(static_cast<std::size_t>(np), Blob{});
+  }
+  Blob& b = staged_[static_cast<std::size_t>(world_rank)];
+  b.bytes = bytes;
+  b.data.clear();
+  if (data != nullptr && bytes > 0) {
+    const auto* p = static_cast<const std::byte*>(data);
+    b.data.assign(p, p + bytes);
+  }
+  staged_step_ = step;
+  bytes_written_ += bytes;
+}
+
+void CheckpointStore::commit(double at_s) {
+  committed_ = staged_;
+  committed_step_ = staged_step_;
+  ++checkpoints_taken_;
+  last_commit_s_ = at_s;
+}
+
+const CheckpointStore::Blob* CheckpointStore::committed_blob(int world_rank) const noexcept {
+  const auto idx = static_cast<std::size_t>(world_rank);
+  if (committed_step_ < 0 || idx >= committed_.size()) return nullptr;
+  return &committed_[idx];
+}
 
 // ---------------------------------------------------------------------------
 // Request plumbing.
@@ -1224,9 +1271,15 @@ int RankEnv::size() const noexcept { return job_->config.np; }
 void RankEnv::compute(double ref_seconds) {
   if (ref_seconds <= 0) return;
   const sim::SimTime t0 = job_->engine.now();
-  const sim::SimTime t = plat::compute_time(
+  sim::SimTime t = plat::compute_time(
       job_->config.platform, job_->placement[static_cast<std::size_t>(world_rank_)],
       job_->config.traits, ref_seconds, rng_);
+  if (const auto& slow = job_->config.faults.compute_slowdown; slow) {
+    // Straggler / hypervisor-stall injection: the factor is sampled at the
+    // start of the chunk (chunks are short relative to stall windows).
+    const double f = slow(placement().node, sim::to_seconds(t0));
+    if (f > 1.0) t = static_cast<sim::SimTime>(static_cast<double>(t) * f);
+  }
   job_->procs[static_cast<std::size_t>(world_rank_)]->advance(t);
   recorder_->add_compute(t);
   job_->record_span(world_rank_, t0, ipm::TraceEvent::Kind::Compute, ipm::CallKind::kCount, 0,
@@ -1259,6 +1312,56 @@ void RankEnv::io_write(std::size_t bytes, bool open_file) {
                     -1);
 }
 
+bool RankEnv::checkpointing() const noexcept { return job_->config.checkpoint_store != nullptr; }
+
+bool RankEnv::interruption_imminent() const noexcept {
+  const double warn = job_->config.faults.warn_at_s;
+  return warn >= 0 && sim::to_seconds(job_->engine.now()) >= warn;
+}
+
+bool RankEnv::maybe_checkpoint(int step, const void* data, std::size_t bytes) {
+  CheckpointStore* store = job_->config.checkpoint_store;
+  if (store == nullptr) return false;
+  char go = 0;
+  if (world_rank_ == 0) {
+    const double since = now_seconds() - std::max(0.0, store->last_commit_s());
+    const double interval = job_->config.checkpoint_interval_s;
+    const bool due = interval > 0 && since >= interval;
+    // After a warning one checkpoint suffices: skip once a commit postdates
+    // the warning time.
+    const bool warned =
+        interruption_imminent() && store->last_commit_s() < job_->config.faults.warn_at_s;
+    go = (due || warned) ? 1 : 0;
+  }
+  world_->bcast(&go, 1, 0);
+  if (go == 0) return false;
+  checkpoint(step, data, bytes);
+  return true;
+}
+
+void RankEnv::checkpoint(int step, const void* data, std::size_t bytes) {
+  CheckpointStore* store = job_->config.checkpoint_store;
+  if (store == nullptr) return;
+  store->stage(world_rank_, job_->config.np, step, data, bytes);
+  io_write(bytes, /*open_file=*/true);
+  world_->barrier();
+  // The barrier proves every rank's write completed; only then does the
+  // staged set become the restart point.
+  if (world_rank_ == 0) store->commit(now_seconds());
+}
+
+int RankEnv::restore_checkpoint(void* data, std::size_t bytes) {
+  CheckpointStore* store = job_->config.checkpoint_store;
+  if (store == nullptr) return -1;
+  const auto* blob = store->committed_blob(world_rank_);
+  if (blob == nullptr) return -1;
+  io_read(blob->bytes, /*open_file=*/true);
+  if (data != nullptr && !blob->data.empty()) {
+    std::memcpy(data, blob->data.data(), std::min(bytes, blob->data.size()));
+  }
+  return store->committed_step();
+}
+
 bool RankEnv::execute() const noexcept { return job_->config.execute; }
 
 const plat::RankPlacement& RankEnv::placement() const noexcept {
@@ -1284,6 +1387,7 @@ JobResult run_job(const JobConfig& config, const std::function<void(RankEnv&)>& 
       RankEnv env(job, r);
       body(env);
       job.recorders[static_cast<std::size_t>(r)].finish(job.engine.now());
+      ++job.finished_ranks;
     });
   }
   job.engine.run();

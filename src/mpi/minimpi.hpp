@@ -20,6 +20,7 @@
 #include <map>
 #include <memory>
 #include <span>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -43,6 +44,83 @@ class RankEnv;
 struct JobConfig;
 struct JobResult;
 JobResult run_job(const JobConfig& config, const std::function<void(RankEnv&)>& body);
+
+/// Thrown out of run_job when fault injection kills the job (node crash or
+/// spot reclaim) at virtual time `at_seconds` on the job's clock. Carries the
+/// partial span trace of the killed attempt (null unless tracing was on) so
+/// restart drivers can stitch a full multi-attempt timeline.
+class JobKilledError : public std::runtime_error {
+ public:
+  JobKilledError(double at_s, std::shared_ptr<const ipm::Trace> partial_trace)
+      : std::runtime_error("job killed by fault injection at t=" + std::to_string(at_s) + " s"),
+        at_seconds(at_s),
+        trace(std::move(partial_trace)) {}
+  double at_seconds;
+  std::shared_ptr<const ipm::Trace> trace;
+};
+
+/// Host-side checkpoint storage that outlives individual job attempts: the
+/// restart driver keeps one store across run_job calls. Ranks stage their
+/// blobs during a collective checkpoint; the staged set is promoted to the
+/// committed state only after the closing barrier, so a crash mid-checkpoint
+/// always leaves the previous checkpoint intact (as a real two-phase
+/// checkpoint protocol would).
+class CheckpointStore {
+ public:
+  [[nodiscard]] bool has_checkpoint() const noexcept { return committed_step_ >= 0; }
+  /// Step label of the last committed checkpoint (-1: none).
+  [[nodiscard]] int committed_step() const noexcept { return committed_step_; }
+  [[nodiscard]] int checkpoints_taken() const noexcept { return checkpoints_taken_; }
+  /// Total bytes staged across all checkpoints and ranks.
+  [[nodiscard]] std::size_t bytes_written() const noexcept { return bytes_written_; }
+  /// Virtual time (current attempt's clock) of the last commit; negative if
+  /// no checkpoint has committed during this attempt.
+  [[nodiscard]] double last_commit_s() const noexcept { return last_commit_s_; }
+  /// Called by the restart driver before each attempt: resets the per-attempt
+  /// clock, keeps the committed data.
+  void begin_attempt() noexcept { last_commit_s_ = -1.0; }
+
+ private:
+  friend class RankEnv;
+  struct Blob {
+    std::vector<std::byte> data;  // empty in model mode (sized but dataless)
+    std::size_t bytes = 0;
+  };
+  void stage(int world_rank, int np, int step, const void* data, std::size_t bytes);
+  void commit(double at_s);
+  [[nodiscard]] const Blob* committed_blob(int world_rank) const noexcept;
+
+  std::vector<Blob> staged_, committed_;
+  int staged_step_ = -1;
+  int committed_step_ = -1;
+  int checkpoints_taken_ = 0;
+  std::size_t bytes_written_ = 0;
+  double last_commit_s_ = -1.0;
+};
+
+/// Fault-injection knobs for one job attempt. Times are on the job's own
+/// clock (attempt-local); cirrus::fault generates absolute schedules and
+/// shifts them per attempt. All hooks default to "no fault".
+struct FaultInjection {
+  /// Virtual time at which the job dies (node crash / spot reclaim); run_job
+  /// then throws JobKilledError. Negative: never.
+  double kill_at_s = -1.0;
+  /// Interruption warning (EC2's two-minute notice): from this time on,
+  /// RankEnv::interruption_imminent() returns true. Negative: never.
+  double warn_at_s = -1.0;
+  /// Multiplies compute durations for (node, time) — straggler / hypervisor
+  /// stall injection. Return 1.0 for nominal speed.
+  net::NodeFactorFn compute_slowdown;
+  /// Fraction of nominal NIC bandwidth available at (node, time) — link
+  /// degradation. Return 1.0 for nominal.
+  net::NodeFactorFn link_bw_factor;
+  /// Extra one-way wire latency in microseconds at (node, time).
+  net::NodeFactorFn link_extra_latency_us;
+
+  [[nodiscard]] bool any_link_hook() const noexcept {
+    return static_cast<bool>(link_bw_factor) || static_cast<bool>(link_extra_latency_us);
+  }
+};
 
 namespace detail {
 struct RequestState;
@@ -241,6 +319,31 @@ class RankEnv {
   /// Current virtual time in seconds (the job's clock).
   [[nodiscard]] double now_seconds() const noexcept;
 
+  // ---- checkpoint/restart (no-ops unless JobConfig::checkpoint_store) ----
+  /// True when the job has a CheckpointStore attached; apps use this to skip
+  /// checkpoint bookkeeping entirely on plain runs (keeping event streams,
+  /// and therefore determinism goldens, identical).
+  [[nodiscard]] bool checkpointing() const noexcept;
+  /// Collective. Rank 0 decides whether a checkpoint is due (the configured
+  /// interval has elapsed, or an interruption warning is active and the last
+  /// commit predates it) and broadcasts the decision; if due, every rank
+  /// stages `bytes` of state (`data` may be null in model mode), pays the
+  /// filesystem write, and the set commits after a barrier. Returns true when
+  /// a checkpoint was taken. Must be called by all ranks with the same step.
+  bool maybe_checkpoint(int step, const void* data, std::size_t bytes);
+  /// Unconditional collective checkpoint (same stage/write/barrier/commit
+  /// protocol, no decision broadcast).
+  void checkpoint(int step, const void* data, std::size_t bytes);
+  /// Restores this rank's blob from the last committed checkpoint, charging
+  /// the filesystem read. Copies into `data` when both it and the stored
+  /// payload are non-empty. Returns the committed step, or -1 when there is
+  /// no checkpoint (or no store).
+  int restore_checkpoint(void* data, std::size_t bytes);
+  /// True once the platform has warned of an imminent interruption (see
+  /// FaultInjection::warn_at_s) — apps should checkpoint at the next safe
+  /// point.
+  [[nodiscard]] bool interruption_imminent() const noexcept;
+
  private:
   friend class Job;
   friend JobResult run_job(const JobConfig& config, const std::function<void(RankEnv&)>& body);
@@ -277,6 +380,15 @@ struct JobConfig {
   bool execute = true;
   std::size_t fiber_stack_bytes = 1 << 20;
   std::string name = "job";
+  /// Fault injection for this attempt (kill/warn on the job-local clock).
+  FaultInjection faults;
+  /// Cross-attempt checkpoint storage; null disables the checkpoint API
+  /// (RankEnv::maybe_checkpoint becomes a communication-free no-op). Must
+  /// outlive the run_job call; the caller owns it.
+  CheckpointStore* checkpoint_store = nullptr;
+  /// Rank 0 triggers a checkpoint when this much virtual time has passed
+  /// since the last commit (<= 0: checkpoint only on interruption warnings).
+  double checkpoint_interval_s = 0;
 };
 
 /// Result of a simulated job.

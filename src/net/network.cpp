@@ -14,6 +14,26 @@ Network::Network(sim::Engine& engine, const plat::Platform& platform, int nodes,
       rx_last_src_(static_cast<std::size_t>(std::max(1, nodes)), -1),
       rng_(sim::Rng(seed).fork(0x4E7)) {}
 
+void Network::set_fault_hooks(NodeFactorFn bw_factor, NodeFactorFn extra_latency_us) {
+  bw_factor_ = std::move(bw_factor);
+  extra_latency_us_ = std::move(extra_latency_us);
+}
+
+double Network::degraded_bandwidth_Bps(int src_node, int dst_node, double t_s) const {
+  double bw = platform_.nic.bandwidth_Bps;
+  if (bw_factor_) {
+    // A flow is limited by the worse of its two endpoints' NICs.
+    const double f = std::min(bw_factor_(src_node, t_s), bw_factor_(dst_node, t_s));
+    if (f > 0.0 && f < 1.0) bw *= f;
+  }
+  return bw;
+}
+
+sim::SimTime Network::extra_latency(int src_node, int dst_node, double t_s) const {
+  if (!extra_latency_us_) return 0;
+  return sim::from_micros(extra_latency_us_(src_node, t_s) + extra_latency_us_(dst_node, t_s));
+}
+
 sim::SimTime Network::wire_latency(bool internode) {
   if (!internode) return sim::from_micros(platform_.shm.latency_us);
   double us = platform_.nic.latency_us;
@@ -39,8 +59,9 @@ TransferTiming Network::transfer(int src_node, int dst_node, std::size_t bytes) 
   assert(src_node >= 0 && static_cast<std::size_t>(src_node) < tx_free_.size());
   assert(dst_node >= 0 && static_cast<std::size_t>(dst_node) < rx_free_.size());
 
-  sim::SimTime busy =
-      sim::from_seconds(static_cast<double>(bytes) / platform_.nic.bandwidth_Bps);
+  sim::SimTime busy = sim::from_seconds(
+      static_cast<double>(bytes) /
+      degraded_bandwidth_Bps(src_node, dst_node, sim::to_seconds(now)));
 
   // On half-duplex platforms (software-switched vNICs) one packet-processing
   // resource serves both directions, so RX traffic queues behind TX traffic
@@ -60,7 +81,8 @@ TransferTiming Network::transfer(int src_node, int dst_node, std::size_t bytes) 
 
   // Wire: base latency + jitter; cut-through, so the head of the message
   // reaches the RX port one latency after TX starts.
-  const sim::SimTime lat = wire_latency(/*internode=*/true);
+  const sim::SimTime lat = wire_latency(/*internode=*/true) +
+                           extra_latency(src_node, dst_node, sim::to_seconds(now));
 
   // RX port: the message occupies the receive port for `busy`; concurrent
   // senders to the same node queue here. When the port is still busy with a
@@ -82,7 +104,11 @@ TransferTiming Network::transfer(int src_node, int dst_node, std::size_t bytes) 
 }
 
 sim::SimTime Network::control_delay(int src_node, int dst_node) {
-  return wire_latency(src_node != dst_node);
+  sim::SimTime d = wire_latency(src_node != dst_node);
+  if (src_node != dst_node) {
+    d += extra_latency(src_node, dst_node, sim::to_seconds(engine_.now()));
+  }
+  return d;
 }
 
 FileSystem::FileSystem(sim::Engine& engine, const plat::FsModel& model)

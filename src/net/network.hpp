@@ -17,6 +17,7 @@
 #pragma once
 
 #include <cstddef>
+#include <functional>
 #include <vector>
 
 #include "platform/platform.hpp"
@@ -25,6 +26,10 @@
 #include "sim/time.hpp"
 
 namespace cirrus::net {
+
+/// Per-node, time-varying degradation hook used by fault injection: returns
+/// a factor for `node` at virtual time `t_seconds` on the job's clock.
+using NodeFactorFn = std::function<double(int node, double t_seconds)>;
 
 /// Timing of one message as decided by the network model.
 struct TransferTiming {
@@ -57,7 +62,16 @@ class Network {
     return src_node == dst_node ? 0.05 : platform_.nic.sys_frac;
   }
 
+  /// Installs fault-injection hooks: `bw_factor` returns the available
+  /// fraction of nominal NIC bandwidth for (node, time), `extra_latency_us`
+  /// additional one-way wire latency in microseconds. Either may be null.
+  /// Only inter-node traffic is affected (intra-node goes over shm).
+  void set_fault_hooks(NodeFactorFn bw_factor, NodeFactorFn extra_latency_us);
+
  private:
+  [[nodiscard]] double degraded_bandwidth_Bps(int src_node, int dst_node, double t_s) const;
+  [[nodiscard]] sim::SimTime extra_latency(int src_node, int dst_node, double t_s) const;
+
   sim::SimTime wire_latency(bool internode);
 
   sim::Engine& engine_;
@@ -66,6 +80,8 @@ class Network {
   std::vector<sim::SimTime> rx_free_;  // per node
   std::vector<int> rx_last_src_;       // source node of each RX port's occupant
   sim::Rng rng_;
+  NodeFactorFn bw_factor_;          // null: nominal bandwidth
+  NodeFactorFn extra_latency_us_;   // null: nominal latency
 };
 
 /// A shared filesystem server: reads/writes are FIFO-serialised, modelling

@@ -231,7 +231,25 @@ BenchResult run_cg(mpi::RankEnv& env, Class cls) {
   };
 
   double zeta = 0.0;
-  for (int it = 1; it <= prm.niter; ++it) {
+  // Checkpointable state: the normalised iterate x plus zeta — everything
+  // carried across outer iterations. A restart resumes at the next outer
+  // iteration with bit-identical arithmetic, so the final zeta (and hence
+  // verification) matches an uninterrupted run exactly.
+  std::vector<double> ck;
+  const std::size_t ck_bytes = (static_cast<std::size_t>(nlocal) + 1) * sizeof(double);
+  int start_it = 1;
+  if (env.checkpointing()) {
+    if (env.execute()) ck.resize(static_cast<std::size_t>(nlocal) + 1);
+    if (const int done = env.restore_checkpoint(ck.empty() ? nullptr : ck.data(), ck_bytes);
+        done >= 1) {
+      if (env.execute()) {
+        std::copy_n(ck.begin(), static_cast<std::size_t>(nlocal), x.begin());
+        zeta = ck[static_cast<std::size_t>(nlocal)];
+      }
+      start_it = done + 1;
+    }
+  }
+  for (int it = start_it; it <= prm.niter; ++it) {
     // --- conj_grad ---
     for (int i = 0; i < nlocal; ++i) {
       q[static_cast<std::size_t>(i)] = 0;
@@ -285,6 +303,13 @@ BenchResult run_cg(mpi::RankEnv& env, Class cls) {
       for (int i = 0; i < nlocal; ++i) {
         x[static_cast<std::size_t>(i)] = inv * z[static_cast<std::size_t>(i)];
       }
+    }
+    if (env.checkpointing()) {
+      if (env.execute()) {
+        std::copy_n(x.begin(), static_cast<std::size_t>(nlocal), ck.begin());
+        ck[static_cast<std::size_t>(nlocal)] = zeta;
+      }
+      env.maybe_checkpoint(it, ck.empty() ? nullptr : ck.data(), ck_bytes);
     }
   }
 

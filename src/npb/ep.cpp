@@ -4,6 +4,7 @@
 // in ten square annuli. Communication: three tiny allreduces at the end —
 // the benchmark is pure compute, which is why it scales linearly everywhere
 // in the paper's Fig 4 except for EC2's hypervisor jitter.
+#include <algorithm>
 #include <array>
 #include <cmath>
 #include <cstdint>
@@ -48,8 +49,30 @@ BenchResult run_ep(mpi::RankEnv& env, Class cls) {
   std::vector<double> uniforms;
   if (env.execute()) uniforms.resize(static_cast<std::size_t>(2 * pairs_per_batch));
 
-  for (long long b = rank; b < batches; b += np) {
-    if (env.execute()) {
+  // Checkpointable state: the accumulators plus the completed batch-round
+  // count. Batches address the global randlc stream by seek_seed, so a
+  // resumed rank reproduces exactly the pairs it would have drawn. Rounds
+  // are global (all ranks loop the same count, idle past their last batch)
+  // so the checkpoint collectives stay aligned.
+  std::array<double, 13> ck{};
+  long long round0 = 0;
+  if (env.checkpointing()) {
+    if (const int done = env.restore_checkpoint(env.execute() ? ck.data() : nullptr, sizeof(ck));
+        done >= 0) {
+      if (env.execute()) {
+        sx = ck[0];
+        sy = ck[1];
+        std::copy_n(ck.begin() + 2, q.size(), q.begin());
+        accepted = static_cast<long long>(ck[12]);
+      }
+      round0 = done + 1;
+    }
+  }
+
+  const long long total_rounds = (batches + np - 1) / np;
+  for (long long round = round0; round < total_rounds; ++round) {
+    const long long b = rank + round * np;
+    if (b < batches && env.execute()) {
       // Jump straight to this batch's slice of the global randlc stream:
       // result is independent of which rank processes the batch.
       double seed = seek_seed(kRandlcSeed, kRandlcA, 2 * pairs_per_batch * b);
@@ -72,7 +95,17 @@ BenchResult run_ep(mpi::RankEnv& env, Class cls) {
         }
       }
     }
-    env.compute(ref_per_batch);
+    if (b < batches) env.compute(ref_per_batch);
+    if (env.checkpointing()) {
+      if (env.execute()) {
+        ck[0] = sx;
+        ck[1] = sy;
+        std::copy_n(q.begin(), q.size(), ck.begin() + 2);
+        ck[12] = static_cast<double>(accepted);
+      }
+      env.maybe_checkpoint(static_cast<int>(round), env.execute() ? ck.data() : nullptr,
+                           sizeof(ck));
+    }
   }
 
   // Global sums (the only communication EP performs).

@@ -124,6 +124,42 @@ TEST(SpotMarket, NextAvailableFindsCheapWindow) {
   EXPECT_LE(m.price_at(t), 0.60);
 }
 
+TEST(SpotMarket, NextInterruptionDeterministicPerSeed) {
+  // The fault layer replays interruption times into FaultSchedules: two
+  // markets with the same seed must yield the identical sequence.
+  cloud::SpotMarket a({}, 23);
+  cloud::SpotMarket b({}, 23);
+  double ta = 0;
+  double tb = 0;
+  for (int i = 0; i < 8 && ta >= 0; ++i) {
+    ta = a.next_interruption(ta + 60, 0.55, 30 * 86400);
+    tb = b.next_interruption(tb + 60, 0.55, 30 * 86400);
+    EXPECT_DOUBLE_EQ(ta, tb);
+  }
+}
+
+TEST(SpotMarket, QueryOrderDoesNotPerturbPrices) {
+  // Prices are a pure function of (seed, t): probing one market heavily must
+  // not shift it relative to an untouched twin.
+  cloud::SpotMarket a({}, 37);
+  cloud::SpotMarket b({}, 37);
+  (void)a.next_interruption(0, 0.5, 7 * 86400);
+  (void)a.next_available(3 * 86400, 0.5, 7 * 86400);
+  EXPECT_DOUBLE_EQ(a.price_at(5 * 86400), b.price_at(5 * 86400));
+}
+
+TEST(SpotRun, AnalyticAccountingFieldsFilled) {
+  // The analytic path must report the same accounting fields the simulated
+  // fault::run_on_spot path does, so ext4 can print them side by side.
+  cloud::SpotMarket m({}, 23);
+  const auto r = cloud::run_on_spot(m, 0, 4 * 3600, /*bid=*/0.5, 600, 2, 1.60);
+  EXPECT_EQ(r.attempts, r.interruptions + 1);
+  EXPECT_GE(r.lost_work_s, 0.0);
+  EXPECT_LE(r.lost_work_s, 600.0 * r.interruptions + 1e-9);  // ckpt bounds it
+  EXPECT_FALSE(r.finished_on_demand);
+  EXPECT_NEAR(r.on_demand_s, 0.0, 1e-12);
+}
+
 TEST(Provisioner, OpenStackPresetExists) {
   // The paper's stated future work: burst onto local OpenStack resources.
   const auto& t = cloud::instance_type("openstack.kvm8");
