@@ -133,6 +133,35 @@ void BM_P2PMessageRate(benchmark::State& state) {
 }
 BENCHMARK(BM_P2PMessageRate)->Arg(10000);
 
+/// Message rate with fat-tree fabric routing on the hot path: one rank per
+/// node and radix-1 leaves, so every transfer walks an up + down link pair
+/// (route lookup, two serial-link reservations, per-link stats). The delta
+/// vs BM_P2PMessageRate bounds the cost of topology mode.
+void BM_P2PMessageRateFatTree(benchmark::State& state) {
+  const auto msgs = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    mpi::JobConfig cfg;
+    cfg.platform = plat::vayu();
+    cfg.np = 2;
+    cfg.max_ranks_per_node = 1;  // force the inter-node (fabric) path
+    cfg.name = "bench";
+    cfg.topology.kind = topo::Kind::FatTree;
+    cfg.topology.leaf_radix = 1;
+    mpi::run_job(cfg, [msgs](mpi::RankEnv& env) {
+      auto& c = env.world();
+      for (int i = 0; i < msgs; ++i) {
+        if (c.rank() == 0) {
+          c.send_bytes(1, 1, nullptr, 8);
+        } else {
+          c.recv_bytes(0, 1, nullptr, 8);
+        }
+      }
+    });
+    state.SetItemsProcessed(state.items_processed() + msgs);
+  }
+}
+BENCHMARK(BM_P2PMessageRateFatTree)->Arg(10000);
+
 /// Worst case for list-scan matching: N receives posted on distinct tags,
 /// messages arriving in reverse tag order, so a linear scan of the posted
 /// queue walks ~N entries per match (O(N^2) total). The hashed (source, tag)

@@ -9,6 +9,11 @@
 // Common options: --platform vayu|dcc|ec2  --np N  --rpn ranks-per-node
 //                 --seed S  --execute  --eager BYTES  --ipm (full summary)
 //                 --trace FILE (write a chrome://tracing JSON span trace)
+// Topology:       --topo crossbar|fattree|vswitch|pgroups (fabric between the
+//                 NICs; crossbar = legacy NIC-only model)  --oversub K
+//                 (fat-tree uplink oversubscription)  --leaf N (nodes per
+//                 leaf/group)  --placement contig|scatter|pgroup
+//                 With --ipm, per-link utilisation counters are printed.
 // Faults:         --mtbf SECONDS (per-node crash MTBF; job restarts from the
 //                 last checkpoint)  --ckpt SECONDS (checkpoint interval)
 //                 --requeue SECONDS (restart delay after a crash)
@@ -38,6 +43,8 @@ int usage(const char* prog) {
                "  npb:    --bench BT|EP|CG|FT|IS|LU|MG|SP --class T|S|W|A|B|C [--execute]\n"
                "  osu:    --test bw|lat\n"
                "  common: --rpn ranks-per-node --seed S --eager bytes --ipm\n"
+               "  topo:   --topo crossbar|fattree|vswitch|pgroups --oversub K --leaf N\n"
+               "          --placement contig|scatter|pgroup\n"
                "  faults: --mtbf seconds --ckpt seconds --requeue seconds\n",
                prog);
   return 2;
@@ -53,7 +60,29 @@ mpi::JobConfig base_config(const core::Options& opts) {
   cfg.eager_threshold_bytes =
       static_cast<std::size_t>(opts.get_int("eager", 16 * 1024));
   cfg.enable_trace = opts.has("trace");
+  cfg.topology.kind = topo::kind_from_string(opts.get_or("topo", "crossbar"));
+  cfg.topology.oversubscription = opts.get_double("oversub", 1.0);
+  cfg.topology.leaf_radix = opts.get_int("leaf", 4);
+  cfg.placement = topo::placement_from_string(opts.get_or("placement", "contig"));
   return cfg;
+}
+
+/// The per-link utilisation table printed with --ipm on a non-trivial fabric.
+void print_link_table(const mpi::JobResult& r) {
+  if (!r.topology || r.link_stats.empty()) return;
+  std::printf("fabric: %s\n", r.topology->describe().c_str());
+  core::Table t({"link", "transfers", "MB", "busy (s)", "queued (s)"});
+  const auto& links = r.topology->links();
+  for (std::size_t i = 0; i < r.link_stats.size(); ++i) {
+    const auto& s = r.link_stats[i];
+    t.row()
+        .add(links[i].name)
+        .add(static_cast<int>(s.transfers))
+        .add(static_cast<double>(s.bytes) / 1e6, 1)
+        .add(cirrus::sim::to_seconds(s.busy), 3)
+        .add(cirrus::sim::to_seconds(s.queued), 3);
+  }
+  std::fputs(t.str().c_str(), stdout);
 }
 
 /// Runs the job, under injected node crashes with checkpoint/restart when
@@ -94,6 +123,7 @@ void print_result(const mpi::JobResult& r, const std::string& name,
   if (opts.has("ipm")) {
     std::fputs(r.ipm.text_summary(name).c_str(), stdout);
     std::fputs(r.ipm.call_table_str().c_str(), stdout);
+    print_link_table(r);
   }
   if (const auto path = opts.get("trace"); path && r.trace) {
     std::ofstream out(*path);
@@ -112,6 +142,8 @@ int run_npb(const core::Options& opts) {
   job.max_ranks_per_node = cfg.max_ranks_per_node;
   job.eager_threshold_bytes = cfg.eager_threshold_bytes;
   job.enable_trace = cfg.enable_trace;
+  job.topology = cfg.topology;
+  job.placement = cfg.placement;
   const auto r = run_maybe_resilient(
       job,
       [&info, cls](mpi::RankEnv& env) {

@@ -108,9 +108,17 @@ Cluster Provisioner::provision(const std::string& type_name, int n, bool placeme
   c.instances = n;
   c.placement_group = placement_group;
   c.hourly_usd = type.hourly_usd * n;
-  if (!placement_group) {
+  c.topo.kind = topo::Kind::PlacementGroups;
+  if (placement_group) {
+    // One full-bisection group spanning the whole cluster: the fabric is
+    // non-blocking for this job (all routes stay inside the group).
+    c.topo.leaf_radix = n;
+  } else {
     // Outside a cluster placement group there is no full-bisection
-    // guarantee: bandwidth collapses and latency grows (paper §IV).
+    // guarantee: instances land in small pods behind a shared, slower core
+    // (modelled both in the fabric and, for NIC-only consumers, as the
+    // historic flat degradation below).
+    c.topo.leaf_radix = std::max(1, std::min(4, n));
     c.platform.nic.bandwidth_Bps *= 0.4;
     c.platform.nic.latency_us *= 2.5;
     c.platform.nic.jitter_prob = std::min(1.0, c.platform.nic.jitter_prob * 2.0);

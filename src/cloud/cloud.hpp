@@ -27,6 +27,7 @@
 #include "ipm/ipm.hpp"
 #include "platform/platform.hpp"
 #include "sim/rng.hpp"
+#include "topo/topo.hpp"
 
 namespace cirrus::cloud {
 
@@ -57,6 +58,11 @@ struct Cluster {
   double hourly_usd = 0;
   int instances = 0;
   bool placement_group = false;
+  /// Fabric the instances landed on: one full-bisection placement group
+  /// when requested, otherwise small pods behind a congested shared core.
+  /// Feed into mpi::JobConfig::topology to price jobs on this cluster with
+  /// emergent fabric contention.
+  topo::TopoSpec topo;
 };
 
 /// Assembles clusters from the catalogue, StarCluster style.

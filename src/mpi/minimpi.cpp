@@ -246,8 +246,21 @@ class Job {
     procs.resize(static_cast<std::size_t>(cfg.np), nullptr);
     in_coll.assign(static_cast<std::size_t>(cfg.np), 0);
     if (cfg.enable_trace) trace = std::make_shared<ipm::Trace>();
+    // The switch fabric between the NICs. Always installed — the default
+    // crossbar has no links and empty routes, so it is bit-identical to the
+    // pre-topology NIC-only model while keeping the code path single.
+    {
+      auto topo = std::make_shared<topo::Topology>(
+          topo::Topology::build(cfg.topology, cfg.platform.nic, node_span()));
+      auto node_map = topo::place_nodes(*topo, cfg.placement, node_span(), cfg.seed);
+      network.set_topology(std::move(topo), std::move(node_map));
+    }
     if (cfg.faults.any_link_hook()) {
       network.set_fault_hooks(cfg.faults.link_bw_factor, cfg.faults.link_extra_latency_us);
+    }
+    if (cfg.faults.any_fabric_hook()) {
+      network.set_link_fault_hooks(cfg.faults.fabric_bw_factor,
+                                   cfg.faults.fabric_extra_latency_us);
     }
     if (cfg.faults.kill_at_s >= 0) {
       // Node crash / spot reclaim: the thrown exception unwinds engine.run()
@@ -1398,6 +1411,8 @@ JobResult run_job(const JobConfig& config, const std::function<void(RankEnv&)>& 
   result.elapsed_seconds = result.ipm.wall_seconds();
   result.values = std::move(job.values);
   result.trace = std::move(job.trace);
+  result.topology = job.network.topology_ptr();
+  result.link_stats = job.network.link_stats();
   return result;
 }
 

@@ -116,9 +116,18 @@ struct FaultInjection {
   net::NodeFactorFn link_bw_factor;
   /// Extra one-way wire latency in microseconds at (node, time).
   net::NodeFactorFn link_extra_latency_us;
+  /// Per-fabric-link generalisation of the two hooks above, applied to the
+  /// links of the job's topo::Topology by index: available bandwidth
+  /// fraction and extra per-hop latency for (link, time). No effect on the
+  /// crossbar (no fabric links).
+  net::LinkFactorFn fabric_bw_factor;
+  net::LinkFactorFn fabric_extra_latency_us;
 
   [[nodiscard]] bool any_link_hook() const noexcept {
     return static_cast<bool>(link_bw_factor) || static_cast<bool>(link_extra_latency_us);
+  }
+  [[nodiscard]] bool any_fabric_hook() const noexcept {
+    return static_cast<bool>(fabric_bw_factor) || static_cast<bool>(fabric_extra_latency_us);
   }
 };
 
@@ -364,6 +373,14 @@ struct JobConfig {
   int max_ranks_per_node = -1;
   plat::WorkloadTraits traits;
   std::uint64_t seed = 1;
+  /// Switch fabric between the nodes' NICs. The default ideal crossbar has
+  /// no fabric links, so it reproduces the legacy NIC-only cost model bit
+  /// for bit; fat-tree / vswitch / placement-group fabrics add per-link
+  /// contention on routed paths (see topo::TopoSpec).
+  topo::TopoSpec topology;
+  /// How the job's logical nodes map onto fabric nodes (contiguous is the
+  /// identity and therefore event-neutral).
+  topo::Placement placement = topo::Placement::Contiguous;
   /// Below/equal: eager protocol; above: rendezvous.
   std::size_t eager_threshold_bytes = 16 * 1024;
   /// Collective algorithm selection (like an MPI tuning file).
@@ -401,6 +418,11 @@ struct JobResult {
   std::map<std::string, double> values;  ///< app-reported scalars
   /// Span trace (null unless JobConfig::enable_trace was set).
   std::shared_ptr<const ipm::Trace> trace;
+  /// The fabric the job ran over (never null; the crossbar has no links).
+  std::shared_ptr<const topo::Topology> topology;
+  /// Per-link utilisation, index-aligned with topology->links(). Empty on
+  /// the crossbar.
+  std::vector<net::LinkStats> link_stats;
 };
 
 /// Launches `config.np` ranks running `body` and simulates to completion.

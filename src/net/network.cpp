@@ -19,6 +19,20 @@ void Network::set_fault_hooks(NodeFactorFn bw_factor, NodeFactorFn extra_latency
   extra_latency_us_ = std::move(extra_latency_us);
 }
 
+void Network::set_link_fault_hooks(LinkFactorFn bw_factor, LinkFactorFn extra_latency_us) {
+  link_bw_factor_ = std::move(bw_factor);
+  link_extra_latency_us_ = std::move(extra_latency_us);
+}
+
+void Network::set_topology(std::shared_ptr<const topo::Topology> topo,
+                           std::vector<int> node_map) {
+  topo_ = std::move(topo);
+  node_map_ = std::move(node_map);
+  const std::size_t n = topo_ != nullptr ? topo_->links().size() : 0;
+  link_free_.assign(n, 0);
+  link_stats_.assign(n, LinkStats{});
+}
+
 double Network::degraded_bandwidth_Bps(int src_node, int dst_node, double t_s) const {
   double bw = platform_.nic.bandwidth_Bps;
   if (bw_factor_) {
@@ -84,11 +98,45 @@ TransferTiming Network::transfer(int src_node, int dst_node, std::size_t bytes) 
   const sim::SimTime lat = wire_latency(/*internode=*/true) +
                            extra_latency(src_node, dst_node, sim::to_seconds(now));
 
+  // Fabric: walk the static route and reserve every link as a FIFO serial
+  // resource. The head advances by each hop's (queueing + latency); the tail
+  // cannot clear the fabric before the slowest link finishes serialising, so
+  // a slow backplane bounds even a lone message's bandwidth. Empty routes
+  // (crossbar, same leaf/group) skip this loop entirely — bit-identical to
+  // the NIC-only model.
+  sim::SimTime head = tx_start + lat;
+  sim::SimTime fabric_tail = 0;
+  if (topo_ != nullptr) {
+    const topo::Route route = topo_->route(fabric_node(src_node), fabric_node(dst_node));
+    const double t_s = sim::to_seconds(now);
+    for (int h = 0; h < route.n; ++h) {
+      const int li = route.links[static_cast<std::size_t>(h)];
+      const topo::Link& link = topo_->links()[static_cast<std::size_t>(li)];
+      double link_bw = link.bandwidth_Bps;
+      if (link_bw_factor_) {
+        const double f = link_bw_factor_(li, t_s);
+        if (f > 0.0 && f < 1.0) link_bw *= f;
+      }
+      const sim::SimTime link_busy = sim::from_seconds(static_cast<double>(bytes) / link_bw);
+      auto& free_at = link_free_[static_cast<std::size_t>(li)];
+      const sim::SimTime start = std::max(head, free_at);
+      auto& stats = link_stats_[static_cast<std::size_t>(li)];
+      ++stats.transfers;
+      stats.bytes += bytes;
+      stats.busy += link_busy;
+      stats.queued += start - head;
+      free_at = start + link_busy;
+      fabric_tail = std::max(fabric_tail, start + link_busy);
+      double hop_us = link.latency_us;
+      if (link_extra_latency_us_) hop_us += link_extra_latency_us_(li, t_s);
+      head = start + sim::from_micros(hop_us);
+    }
+  }
+
   // RX port: the message occupies the receive port for `busy`; concurrent
   // senders to the same node queue here. When the port is still busy with a
   // transfer from a *different* node, the interleaving of flows degrades
   // service (incast / fabric congestion under all-to-all traffic).
-  const sim::SimTime head = tx_start + lat;
   auto& last_src = rx_last_src_[static_cast<std::size_t>(dst_node)];
   if (platform_.nic.incast_penalty > 1.0 && head < dst_rx && last_src != src_node &&
       last_src >= 0) {
@@ -96,7 +144,9 @@ TransferTiming Network::transfer(int src_node, int dst_node, std::size_t bytes) 
   }
   last_src = src_node;
   const sim::SimTime rx_start = std::max(head, hd ? std::max(dst_tx, dst_rx) : dst_rx);
-  const sim::SimTime rx_end = rx_start + busy;
+  // The payload is fully received no earlier than both the RX port's own
+  // serialisation and the fabric bottleneck's tail.
+  const sim::SimTime rx_end = std::max(rx_start + busy, fabric_tail);
   dst_rx = rx_end;
   if (hd) dst_tx = rx_end;
 
@@ -107,6 +157,16 @@ sim::SimTime Network::control_delay(int src_node, int dst_node) {
   sim::SimTime d = wire_latency(src_node != dst_node);
   if (src_node != dst_node) {
     d += extra_latency(src_node, dst_node, sim::to_seconds(engine_.now()));
+    if (topo_ != nullptr) {
+      // Control messages ride the same static route but reserve nothing:
+      // they only pay each hop's base latency.
+      const topo::Route route = topo_->route(fabric_node(src_node), fabric_node(dst_node));
+      for (int h = 0; h < route.n; ++h) {
+        d += sim::from_micros(
+            topo_->links()[static_cast<std::size_t>(route.links[static_cast<std::size_t>(h)])]
+                .latency_us);
+      }
+    }
   }
   return d;
 }

@@ -5,31 +5,55 @@
 //
 //   * inter-node: the sender's NIC TX port is a serial resource (transfers
 //     queue FIFO); the wire adds base latency plus an optional heavy-tailed
-//     jitter spike (vSwitch / hypervisor packet processing); the receiver's
-//     NIC RX port is a second serial resource, which is what makes incast
-//     patterns (all-to-all roots) queue up realistically. Transfers are
-//     cut-through: a single stream achieves the full link bandwidth.
+//     jitter spike (vSwitch / hypervisor packet processing); when a fabric
+//     topology is installed (cirrus::topo), the routed path's links are then
+//     reserved one by one — each fabric link is its own serial resource, so
+//     uplink oversubscription and incast congestion *emerge* from queueing
+//     instead of being approximated at the NIC; finally the receiver's NIC
+//     RX port is a last serial resource. Transfers are cut-through: a single
+//     stream on an idle path achieves the bottleneck link bandwidth.
 //   * intra-node: a shared-memory copy at the platform's shm bandwidth and
-//     latency; no NIC involvement.
+//     latency; no NIC or fabric involvement.
+//
+// Without a topology (or with the ideal crossbar, whose routes are empty)
+// the fabric stage vanishes and the model is bit-identical to the historic
+// NIC-only form.
 //
 // The shared filesystem is modelled as one serial server per job with
 // separate read/write bandwidths and a per-open latency (NFS vs Lustre).
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <functional>
+#include <memory>
 #include <vector>
 
 #include "platform/platform.hpp"
 #include "sim/engine.hpp"
 #include "sim/rng.hpp"
 #include "sim/time.hpp"
+#include "topo/topo.hpp"
 
 namespace cirrus::net {
 
 /// Per-node, time-varying degradation hook used by fault injection: returns
 /// a factor for `node` at virtual time `t_seconds` on the job's clock.
 using NodeFactorFn = std::function<double(int node, double t_seconds)>;
+
+/// Per-fabric-link counterpart: returns a factor for link index `link` of
+/// the installed topology at virtual time `t_seconds`. This generalises the
+/// per-node NIC hooks — a degraded uplink slows every flow routed over it,
+/// not just one endpoint's traffic.
+using LinkFactorFn = std::function<double(int link, double t_seconds)>;
+
+/// Utilisation counters for one fabric link, exported with IPM output.
+struct LinkStats {
+  std::uint64_t transfers = 0;  ///< messages routed over the link
+  std::uint64_t bytes = 0;      ///< payload bytes carried
+  sim::SimTime busy = 0;        ///< total serialisation time reserved
+  sim::SimTime queued = 0;      ///< total head-of-line waiting before service
+};
 
 /// Timing of one message as decided by the network model.
 struct TransferTiming {
@@ -50,8 +74,9 @@ class Network {
   /// per simulated wire transfer, in virtual-time order.
   TransferTiming transfer(int src_node, int dst_node, std::size_t bytes);
 
-  /// Prices a small control message (rendezvous RTS/CTS): latency-only, no
-  /// NIC bandwidth reservation.
+  /// Prices a small control message (rendezvous RTS/CTS): latency-only (wire
+  /// plus any fabric hop latencies on the routed path), no bandwidth
+  /// reservation.
   sim::SimTime control_delay(int src_node, int dst_node);
 
   [[nodiscard]] const plat::Platform& platform() const noexcept { return platform_; }
@@ -59,7 +84,28 @@ class Network {
   /// Fraction of communication time that IPM should book as system time for
   /// a transfer between these nodes.
   [[nodiscard]] double sys_frac(int src_node, int dst_node) const noexcept {
-    return src_node == dst_node ? 0.05 : platform_.nic.sys_frac;
+    return src_node == dst_node ? platform_.shm.sys_frac : platform_.nic.sys_frac;
+  }
+
+  /// Installs a switch fabric between the NICs: inter-node transfers walk
+  /// `topo`'s static route and reserve each link as a serial resource.
+  /// `node_map` maps the job's logical nodes onto fabric nodes (see
+  /// topo::place_nodes); empty means identity. A null topology — or one with
+  /// only empty routes, like the ideal crossbar — leaves the cost model
+  /// bit-identical to the NIC-only form.
+  void set_topology(std::shared_ptr<const topo::Topology> topo, std::vector<int> node_map);
+
+  /// The installed fabric (null when running NIC-only).
+  [[nodiscard]] const topo::Topology* topology() const noexcept { return topo_.get(); }
+  /// Shared ownership of the fabric, for results that outlive the network.
+  [[nodiscard]] std::shared_ptr<const topo::Topology> topology_ptr() const noexcept {
+    return topo_;
+  }
+
+  /// Per-link utilisation counters, index-aligned with topology()->links().
+  /// Empty when no fabric is installed.
+  [[nodiscard]] const std::vector<LinkStats>& link_stats() const noexcept {
+    return link_stats_;
   }
 
   /// Installs fault-injection hooks: `bw_factor` returns the available
@@ -68,9 +114,19 @@ class Network {
   /// Only inter-node traffic is affected (intra-node goes over shm).
   void set_fault_hooks(NodeFactorFn bw_factor, NodeFactorFn extra_latency_us);
 
+  /// Per-fabric-link fault hooks (the per-link generalisation of
+  /// set_fault_hooks): `bw_factor` is the available fraction of a link's
+  /// nominal bandwidth, `extra_latency_us` extra per-hop latency. Applied
+  /// only to routed fabric links; no effect without a topology.
+  void set_link_fault_hooks(LinkFactorFn bw_factor, LinkFactorFn extra_latency_us);
+
  private:
   [[nodiscard]] double degraded_bandwidth_Bps(int src_node, int dst_node, double t_s) const;
   [[nodiscard]] sim::SimTime extra_latency(int src_node, int dst_node, double t_s) const;
+  /// Fabric node of a logical job node (identity without a placement map).
+  [[nodiscard]] int fabric_node(int node) const noexcept {
+    return node_map_.empty() ? node : node_map_[static_cast<std::size_t>(node)];
+  }
 
   sim::SimTime wire_latency(bool internode);
 
@@ -82,6 +138,12 @@ class Network {
   sim::Rng rng_;
   NodeFactorFn bw_factor_;          // null: nominal bandwidth
   NodeFactorFn extra_latency_us_;   // null: nominal latency
+  std::shared_ptr<const topo::Topology> topo_;  // null: NIC-only model
+  std::vector<int> node_map_;                   // logical -> fabric node
+  std::vector<sim::SimTime> link_free_;         // per fabric link
+  std::vector<LinkStats> link_stats_;           // per fabric link
+  LinkFactorFn link_bw_factor_;          // null: nominal link bandwidth
+  LinkFactorFn link_extra_latency_us_;   // null: nominal hop latency
 };
 
 /// A shared filesystem server: reads/writes are FIFO-serialised, modelling

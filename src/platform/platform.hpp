@@ -44,6 +44,10 @@ struct NicModel {
 struct ShmModel {
   double bandwidth_Bps = 4e9;
   double latency_us = 0.6;
+  /// Fraction of intra-node communication time booked as system time (page
+  /// mapping / kernel-assisted copies); small everywhere compared with the
+  /// NIC's softirq share.
+  double sys_frac = 0.05;
 };
 
 /// Shared-filesystem model. All ranks contend on one logical server.

@@ -44,6 +44,28 @@ void __asan_unpoison_memory_region(void const volatile* addr, size_t size);
 }
 #endif
 
+// ThreadSanitizer's fiber API: each fiber gets its own TSan context
+// (created once, destroyed with the fiber), and __tsan_switch_to_fiber is
+// called immediately before every stack switch so TSan's shadow state
+// follows the control flow. Without this, TSan sees one OS thread hopping
+// between stacks and reports phantom races on fiber-local data.
+#if defined(__SANITIZE_THREAD__)
+#define CIRRUS_TSAN_FIBERS 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define CIRRUS_TSAN_FIBERS 1
+#endif
+#endif
+
+#if defined(CIRRUS_TSAN_FIBERS)
+extern "C" {
+void* __tsan_get_current_fiber(void);
+void* __tsan_create_fiber(unsigned flags);
+void __tsan_destroy_fiber(void* fiber);
+void __tsan_switch_to_fiber(void* fiber, unsigned flags);
+}
+#endif
+
 namespace cirrus::sim {
 
 namespace {
@@ -61,6 +83,20 @@ inline void asan_after_switch([[maybe_unused]] void* fake_save,
                               [[maybe_unused]] std::size_t* from_size) {
 #if defined(CIRRUS_ASAN_FIBERS)
   __sanitizer_finish_switch_fiber(fake_save, from_bottom, from_size);
+#endif
+}
+
+inline void* tsan_current_fiber() {
+#if defined(CIRRUS_TSAN_FIBERS)
+  return __tsan_get_current_fiber();
+#else
+  return nullptr;
+#endif
+}
+
+inline void tsan_switch_to([[maybe_unused]] void* target) {
+#if defined(CIRRUS_TSAN_FIBERS)
+  __tsan_switch_to_fiber(target, 0);
 #endif
 }
 
@@ -103,6 +139,9 @@ Fiber::Fiber(std::function<void()> body, std::size_t stack_bytes) : body_(std::m
   assert(reinterpret_cast<std::uintptr_t>(top) % 16 == 0);
   asan_stack_bottom_ = static_cast<std::uint8_t*>(stack_mapping_) + pg;
   asan_stack_size_ = usable;
+#if defined(CIRRUS_TSAN_FIBERS)
+  tsan_fiber_ = __tsan_create_fiber(0);
+#endif
 
 #if defined(CIRRUS_USE_UCONTEXT)
   if (::getcontext(&fiber_ctx_) != 0) {
@@ -157,6 +196,9 @@ Fiber::~Fiber() {
 #endif
     ::munmap(stack_mapping_, mapping_bytes_);
   }
+#if defined(CIRRUS_TSAN_FIBERS)
+  if (tsan_fiber_ != nullptr) __tsan_destroy_fiber(tsan_fiber_);
+#endif
 }
 
 void Fiber::run_body() noexcept {
@@ -172,6 +214,7 @@ void Fiber::run_body() noexcept {
   // Hand control back to whoever resumed us, permanently. The null
   // fake_stack_save tells ASan this fiber is done for good.
   asan_before_switch(nullptr, asan_caller_bottom_, asan_caller_size_);
+  tsan_switch_to(tsan_return_);
 #if defined(CIRRUS_USE_UCONTEXT)
   ::swapcontext(&fiber_ctx_, &engine_ctx_);
 #else
@@ -186,6 +229,8 @@ void Fiber::resume() {
   started_ = true;
   void* fake = nullptr;  // this frame survives the switch; a local suffices
   asan_before_switch(&fake, asan_stack_bottom_, asan_stack_size_);
+  tsan_return_ = tsan_current_fiber();
+  tsan_switch_to(tsan_fiber_);
 #if defined(CIRRUS_USE_UCONTEXT)
   ::swapcontext(&engine_ctx_, &fiber_ctx_);
 #else
@@ -201,6 +246,7 @@ void Fiber::resume() {
 void Fiber::yield() {
   void* fake = nullptr;  // this frame survives the switch; a local suffices
   asan_before_switch(&fake, asan_caller_bottom_, asan_caller_size_);
+  tsan_switch_to(tsan_return_);
 #if defined(CIRRUS_USE_UCONTEXT)
   ::swapcontext(&fiber_ctx_, &engine_ctx_);
 #else

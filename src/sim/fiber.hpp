@@ -72,6 +72,13 @@ class Fiber {
   const void* asan_caller_bottom_ = nullptr; // resuming context's stack
   std::size_t asan_caller_size_ = 0;
 
+  // ThreadSanitizer fiber bookkeeping (same unconditional-ABI rule). TSan
+  // models each fiber as a lightweight thread; every context switch must be
+  // announced via __tsan_switch_to_fiber or its per-thread shadow state
+  // (stack, mutexes, clocks) is attributed to the wrong context.
+  void* tsan_fiber_ = nullptr;   // TSan context for this fiber
+  void* tsan_return_ = nullptr;  // TSan context of the resuming caller
+
 #if defined(CIRRUS_USE_UCONTEXT)
   ucontext_t fiber_ctx_{};
   ucontext_t engine_ctx_{};

@@ -86,3 +86,20 @@ TEST(Driver, LowestIndexExceptionWins) {
 TEST(Driver, DefaultParallelismIsPositive) {
   EXPECT_GE(core::default_parallelism(), 1);
 }
+
+TEST(Driver, LabeledSweepKeepsLabelsWithValuesInIndexOrder) {
+  // Labels travel with their sweep point, so a table rendered from the
+  // result vector names each configuration correctly at any worker count.
+  const auto f = [](std::size_t i) {
+    return core::Labeled<int>{"point-" + std::to_string(i), static_cast<int>(i) * 10};
+  };
+  const auto serial = core::run_sweep_labeled<int>(23, f, 1);
+  const auto parallel = core::run_sweep_labeled<int>(23, f, 4);
+  ASSERT_EQ(serial.size(), 23u);
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i].label, "point-" + std::to_string(i));
+    EXPECT_EQ(serial[i].value, static_cast<int>(i) * 10);
+    EXPECT_EQ(parallel[i].label, serial[i].label);
+    EXPECT_EQ(parallel[i].value, serial[i].value);
+  }
+}
