@@ -7,11 +7,13 @@
 #include <cmath>
 #include <cstdio>
 
+#include "bench/registry.hpp"
 #include "cloud/cloud.hpp"
 #include "core/table.hpp"
 #include "npb/npb.hpp"
 
-int main() {
+CIRRUS_BENCH_TARGET(ext1, "ext",
+                    "ARRIVE-F cross-platform runtime prediction accuracy (NPB class A)") {
   using namespace cirrus;
   const char* benches[] = {"EP", "CG", "FT", "IS", "MG", "LU"};
   const int np = 16;
@@ -34,6 +36,8 @@ int main() {
                                                 npb::benchmark(bench).traits);
       t.row().add(bench).add("vayu").add(target).add(pred.seconds, 1).add(actual, 1).add(err, 1)
           .add(slow, 2);
+      report.add(std::string("pred_err_pct_") + bench, target, np, err, "%")
+          .add(std::string("cloud_slowdown_") + bench, target, np, slow);
       worst = std::max(worst, std::abs(err));
       sum += std::abs(err);
       ++n;
@@ -44,5 +48,7 @@ int main() {
   std::printf("\nmean |error| %.1f%%, worst |error| %.1f%% "
               "(ARRIVE-F reports ~90%%+ accuracy for CPU/comm-profiled codes)\n",
               sum / n, worst);
+  report.add("mean_abs_err_pct", "-", np, sum / n, "%")
+      .add("worst_abs_err_pct", "-", np, worst, "%");
   return 0;
 }

@@ -10,6 +10,7 @@
 #include <cstdio>
 #include <functional>
 
+#include "bench/registry.hpp"
 #include "core/table.hpp"
 #include "npb/npb.hpp"
 
@@ -31,7 +32,8 @@ double comm_pct(const char* bench, const Platform& p, int np) {
 
 }  // namespace
 
-int main() {
+CIRRUS_BENCH_TARGET(ext3, "ext",
+                    "Platform-model feature ablation at the paper's diagnostic points") {
   using namespace cirrus;
 
   struct Variant {
@@ -59,12 +61,16 @@ int main() {
     v.tweak(dcc);
     v.tweak(ec2);
     v.tweak(vayu);
-    t.row()
-        .add(v.name)
-        .add(speedup("CG", dcc, 8), 2)
-        .add(speedup("FT", dcc, 16), 2)
-        .add(speedup("EP", ec2, 16), 2)
-        .add(comm_pct("IS", vayu, 64), 1);
+    const double cg8 = speedup("CG", dcc, 8);
+    const double ft16 = speedup("FT", dcc, 16);
+    const double ep16 = speedup("EP", ec2, 16);
+    const double is64 = comm_pct("IS", vayu, 64);
+    t.row().add(v.name).add(cg8, 2).add(ft16, 2).add(ep16, 2).add(is64, 1);
+    const std::string key = valid::slug(v.name);
+    report.add("cg_dcc_s", key, 8, cg8)
+        .add("ft_dcc_s", key, 16, ft16)
+        .add("ep_ec2_s", key, 16, ep16)
+        .add("is_vayu_comm_pct", key, 64, is64, "%");
   }
   std::printf("## ext3: platform-model feature ablation\n%s", t.str().c_str());
   std::printf("\npaper-shape expectations with the full model: CG dcc S(8) well below 8 "

@@ -16,6 +16,7 @@
 #include <cstdio>
 #include <vector>
 
+#include "bench/registry.hpp"
 #include "cloud/cloud.hpp"
 #include "core/driver.hpp"
 #include "core/options.hpp"
@@ -33,15 +34,16 @@ constexpr int kSteps = 96;  // ~5 min of work per step at the target runtime
 
 struct Strategy {
   const char* name;
+  const char* key;  ///< metric platform label
   double bid;
   double ckpt_s;
 };
 constexpr Strategy kStrategies[] = {
-    {"spot, high bid", 1.20, 900},
-    {"spot, mean bid", 0.62, 900},
-    {"spot, low bid", 0.45, 900},
-    {"spot, low bid, no ckpt", 0.45, 0},
-    {"spot, low bid, 5min ckpt", 0.45, 300},
+    {"spot, high bid", "high_bid", 1.20, 900},
+    {"spot, mean bid", "mean_bid", 0.62, 900},
+    {"spot, low bid", "low_bid", 0.45, 900},
+    {"spot, low bid, no ckpt", "low_bid_nockpt", 0.45, 0},
+    {"spot, low bid, 5min ckpt", "low_bid_5m", 0.45, 300},
 };
 constexpr int kSeeds = 5;
 
@@ -96,7 +98,8 @@ struct Avg {
   }
 };
 
-void print_table(const char* title, const std::vector<Avg>& rows, double od_cost) {
+void print_table(const char* title, const char* prefix, const std::vector<Avg>& rows,
+                 double od_cost, cirrus::valid::RunReport& report) {
   core::Table t({"strategy", "bid ($/h)", "ckpt (min)", "finish (h)", "interruptions",
                  "attempts", "lost (h)", "boot (min)", "od runs", "cost ($)", "vs on-demand"});
   for (std::size_t i = 0; i < std::size(kStrategies); ++i) {
@@ -105,14 +108,19 @@ void print_table(const char* title, const std::vector<Avg>& rows, double od_cost
     t.row().add(s.name).add(s.bid, 2).add(s.ckpt_s / 60, 0).add(a.finish / 3600, 2)
         .add(a.intr, 1).add(a.attempts, 1).add(a.lost / 3600, 2).add(a.boot / 60, 1)
         .add(a.od, 1).add(a.cost, 2).add(a.cost / od_cost, 2);
+    report.add(std::string(prefix) + "_finish_h", s.key, 0, a.finish / 3600, "h")
+        .add(std::string(prefix) + "_interruptions", s.key, 0, a.intr)
+        .add(std::string(prefix) + "_lost_h", s.key, 0, a.lost / 3600, "h")
+        .add(std::string(prefix) + "_cost_usd", s.key, 0, a.cost, "$")
+        .add(std::string(prefix) + "_cost_vs_od", s.key, 0, a.cost / od_cost);
   }
   std::printf("%s\n%s", title, t.str().c_str());
 }
 
 }  // namespace
 
-int main(int argc, char** argv) {
-  const core::Options opts(argc, argv);
+CIRRUS_BENCH_TARGET(ext4, "ext",
+                    "Spot-bidding strategies: analytic vs emergent accounting on EC2") {
   const int jobs = opts.get_int("jobs", 0);
 
   // Fault-free reference run: its virtual walltime is the job length the
@@ -125,6 +133,8 @@ int main(int argc, char** argv) {
   core::Table base({"strategy", "bid ($/h)", "ckpt (min)", "finish (h)", "cost ($)"});
   base.row().add("on-demand").add(kOnDemand, 2).add(0).add(runtime / 3600, 2).add(od_cost, 2);
   std::printf("%s", base.str().c_str());
+  report.add("od_runtime_h", "on_demand", 0, runtime / 3600, "h")
+      .add("od_cost_usd", "on_demand", 0, od_cost, "$");
 
   // Analytic: closed-form spot accounting, averaged over market seeds.
   std::vector<Avg> analytic(std::size(kStrategies));
@@ -137,7 +147,8 @@ int main(int argc, char** argv) {
     }
     analytic[i].scale(1.0 / kSeeds);
   }
-  print_table("\n### analytic (closed-form lost-tail model)", analytic, od_cost);
+  print_table("\n### analytic (closed-form lost-tail model)", "analytic", analytic, od_cost,
+              report);
 
   // Emergent: the same strategies, but every attempt is a real simulated run.
   const std::vector<cloud::SpotRun> runs = core::run_sweep<cloud::SpotRun>(
@@ -158,8 +169,8 @@ int main(int argc, char** argv) {
   std::vector<Avg> emergent(std::size(kStrategies));
   for (std::size_t i = 0; i < runs.size(); ++i) emergent[i / kSeeds] += runs[i];
   for (auto& a : emergent) a.scale(1.0 / kSeeds);
-  print_table("\n### emergent (simulated runs: real checkpoints, reclaims, boots)", emergent,
-              od_cost);
+  print_table("\n### emergent (simulated runs: real checkpoints, reclaims, boots)", "emergent",
+              emergent, od_cost, report);
 
   std::printf("\nlesson: bidding near the mean price saves ~%0.f%%; low bids without "
               "checkpointing thrash (the closed form trips its guard and falls back to "

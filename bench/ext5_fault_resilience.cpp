@@ -13,15 +13,27 @@
 #include <string>
 #include <vector>
 
+#include "bench/registry.hpp"
 #include "core/driver.hpp"
 #include "core/options.hpp"
 #include "core/table.hpp"
 #include "fault/fault.hpp"
 #include "npb/npb.hpp"
 
-int main(int argc, char** argv) {
+namespace {
+
+/// Compact grid-point tag for metric names: 0.25 -> "0.25", 0.0625 -> "0.0625".
+std::string frac_tag(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%g", v);
+  return buf;
+}
+
+}  // namespace
+
+CIRRUS_BENCH_TARGET(ext5, "ext",
+                    "Fault-resilience sweep: MTBF x checkpoint interval x platform") {
   using namespace cirrus;
-  const core::Options opts(argc, argv);
   const int jobs = opts.get_int("jobs", 0);
   const std::uint64_t seed = static_cast<std::uint64_t>(opts.get_int("seed", 42));
 
@@ -99,6 +111,9 @@ int main(int argc, char** argv) {
 
   core::Table t({"platform", "MTBF/T0", "ckpt/T0", "T (s)", "T/T0", "attempts", "lost (s)",
                  "ckpts", "cost ($)"});
+  for (std::size_t s = 0; s < std::size(specs); ++s) {
+    report.add("t0_s", specs[s].platform.name, np, t0[s], "s");
+  }
   for (std::size_t i = 0; i < points.size(); ++i) {
     const Point& p = points[i];
     const R& r = results[i];
@@ -112,6 +127,10 @@ int main(int argc, char** argv) {
         .add(r.lost_s, 1)
         .add(r.ckpts)
         .add(r.cost_usd, 3);
+    const std::string tag = "_m" + frac_tag(p.mtbf_frac) + "_c" + frac_tag(p.ckpt_frac);
+    report.add("tts_ratio" + tag, specs[p.spec].platform.name, np, r.tts_s / t0[p.spec])
+        .add("attempts" + tag, specs[p.spec].platform.name, np, r.attempts)
+        .add("cost_usd" + tag, specs[p.spec].platform.name, np, r.cost_usd, "$");
   }
   std::printf("## ext5: fault resilience, NPB CG class B pattern, np=%d on %d nodes\n", np,
               nodes);

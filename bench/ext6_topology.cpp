@@ -17,14 +17,15 @@
 #include <string>
 #include <vector>
 
+#include "bench/registry.hpp"
 #include "core/driver.hpp"
 #include "core/options.hpp"
 #include "core/table.hpp"
 #include "npb/npb.hpp"
 
-int main(int argc, char** argv) {
+CIRRUS_BENCH_TARGET(ext6, "ext",
+                    "Switch-fabric topology sweep: topology x oversub x placement x kernel") {
   using namespace cirrus;
-  const core::Options opts(argc, argv);
   const int jobs = opts.get_int("jobs", 0);
   const std::uint64_t seed = static_cast<std::uint64_t>(opts.get_int("seed", 1));
 
@@ -122,6 +123,12 @@ int main(int argc, char** argv) {
         .add(r.comm_pct, 1)
         .add(r.queued_s, 3)
         .add(r.hot_link);
+    const std::string fab = valid::slug(std::string(topo::label(fabrics[p.fabric].spec)) + "_" +
+                                        topo::to_string(fabrics[p.fabric].placement));
+    const std::string kern = valid::slug(kernels[p.kernel]);
+    report.add(kern + "_vs_xbar", fab, np, r.elapsed_s / base)
+        .add(kern + "_comm_pct", fab, np, r.comm_pct, "%")
+        .add(kern + "_queued_s", fab, np, r.queued_s, "s");
   }
   std::printf("## ext6: topology sweep, NPB class %c np=%d (rpn=%d) on vayu, seed %llu\n",
               npb::to_char(cls), np, rpn, static_cast<unsigned long long>(seed));

@@ -6,13 +6,15 @@
 // peaks near ~190 MB/s.
 #include <cstdio>
 
+#include "bench/registry.hpp"
 #include "core/options.hpp"
+#include "core/report_bridge.hpp"
 #include "core/table.hpp"
 #include "osu/osu.hpp"
 #include "platform/platform.hpp"
 
-int main(int argc, char** argv) {
-  const cirrus::core::Options opts(argc, argv);
+CIRRUS_BENCH_TARGET(fig1, "paper",
+                    "OSU MPI bandwidth vs message size on DCC, EC2 and Vayu") {
   using namespace cirrus;
   core::Figure fig;
   fig.id = "fig1";
@@ -46,5 +48,10 @@ int main(int argc, char** argv) {
   std::printf("\npeaks: dcc %.0f MB/s (paper ~190), ec2 %.0f MB/s (paper ~560), "
               "vayu %.0f MB/s (paper: >10x ec2)\n",
               dcc_peak, ec2_peak, vayu_peak);
+
+  core::figure_to_report(fig, "bw", "MB/s", report);
+  report.add("peak_bw", "dcc", 2, dcc_peak, "MB/s")
+      .add("peak_bw", "ec2", 2, ec2_peak, "MB/s")
+      .add("peak_bw", "vayu", 2, vayu_peak, "MB/s");
   return 0;
 }

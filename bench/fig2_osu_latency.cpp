@@ -7,13 +7,15 @@
 #include <algorithm>
 #include <cstdio>
 
+#include "bench/registry.hpp"
 #include "core/options.hpp"
+#include "core/report_bridge.hpp"
 #include "core/table.hpp"
 #include "osu/osu.hpp"
 #include "platform/platform.hpp"
 
-int main(int argc, char** argv) {
-  const cirrus::core::Options opts(argc, argv);
+CIRRUS_BENCH_TARGET(fig2, "paper",
+                    "OSU MPI latency vs message size on DCC, EC2 and Vayu") {
   using namespace cirrus;
   core::Figure fig;
   fig.id = "fig2";
@@ -46,6 +48,9 @@ int main(int argc, char** argv) {
       }
     }
     std::printf("%s small-message latency range: %.1f .. %.1f us\n", s.name.c_str(), mn, mx);
+    const std::string platform = valid::slug(s.name.substr(0, s.name.find(' ')));
+    report.add("small_lat_min", platform, 2, mn, "us").add("small_lat_max", platform, 2, mx, "us");
   }
+  core::figure_to_report(fig, "lat", "us", report);
   return 0;
 }

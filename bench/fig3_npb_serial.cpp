@@ -6,10 +6,12 @@
 // with EC2 slightly slower than Vayu (Xen overhead).
 #include <cstdio>
 
+#include "bench/registry.hpp"
 #include "core/table.hpp"
 #include "npb/npb.hpp"
 
-int main() {
+CIRRUS_BENCH_TARGET(fig3, "paper",
+                    "NPB class B single-process time per platform, normalised to DCC") {
   using namespace cirrus;
   const double paper_dcc[] = {1696.9, 141.5, 244.9, 327.6, 8.6, 1514.7, 72.0, 1936.1};
 
@@ -17,15 +19,15 @@ int main() {
                  "vayu/dcc"});
   int idx = 0;
   for (const auto& b : npb::all_benchmarks()) {
-    const double dcc =
-        npb::run_benchmark(b.name, npb::Class::B, plat::dcc(), 1, /*execute=*/false)
-            .elapsed_seconds;
-    const double ec2 =
-        npb::run_benchmark(b.name, npb::Class::B, plat::ec2(), 1, /*execute=*/false)
-            .elapsed_seconds;
-    const double vayu =
-        npb::run_benchmark(b.name, npb::Class::B, plat::vayu(), 1, /*execute=*/false)
-            .elapsed_seconds;
+    const auto r_dcc = npb::run_benchmark(b.name, npb::Class::B, plat::dcc(), 1,
+                                          /*execute=*/false);
+    const auto r_ec2 = npb::run_benchmark(b.name, npb::Class::B, plat::ec2(), 1,
+                                          /*execute=*/false);
+    const auto r_vayu = npb::run_benchmark(b.name, npb::Class::B, plat::vayu(), 1,
+                                           /*execute=*/false);
+    const double dcc = r_dcc.elapsed_seconds;
+    const double ec2 = r_ec2.elapsed_seconds;
+    const double vayu = r_vayu.elapsed_seconds;
     t.row()
         .add(b.name + ".B.1")
         .add(dcc, 1)
@@ -34,6 +36,12 @@ int main() {
         .add(vayu, 1)
         .add(ec2 / dcc, 3)
         .add(vayu / dcc, 3);
+    report.events += r_dcc.events_processed + r_ec2.events_processed + r_vayu.events_processed;
+    report.add("serial_s_" + b.name, "dcc", 1, dcc, "s")
+        .add("serial_s_" + b.name, "ec2", 1, ec2, "s")
+        .add("serial_s_" + b.name, "vayu", 1, vayu, "s")
+        .add("serial_ratio_" + b.name, "ec2", 1, ec2 / dcc)
+        .add("serial_ratio_" + b.name, "vayu", 1, vayu / dcc);
   }
   std::printf("## fig3: NPB class B serial time, normalised w.r.t. DCC\n%s", t.str().c_str());
   return 0;

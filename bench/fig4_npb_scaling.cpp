@@ -21,14 +21,16 @@
 #include <string>
 #include <vector>
 
+#include "bench/registry.hpp"
 #include "core/driver.hpp"
 #include "core/options.hpp"
+#include "core/report_bridge.hpp"
 #include "core/table.hpp"
 #include "npb/npb.hpp"
 
-int main(int argc, char** argv) {
+CIRRUS_BENCH_TARGET(fig4, "paper",
+                    "NPB class B speedup curves (np=1..64) on DCC, EC2 and Vayu") {
   using namespace cirrus;
-  const core::Options opts(argc, argv);
   const std::string only = opts.positional().empty() ? "" : opts.positional()[0];
   const int jobs = opts.get_int("jobs", 0);
 
@@ -87,6 +89,7 @@ int main(int argc, char** argv) {
       std::printf("wrote %s\n", core::write_figure_csv(fig, *dir).c_str());
     }
     std::fputs("\n", stdout);
+    core::figure_to_report(fig, "speedup_" + b.name, "", report);
   }
   return 0;
 }

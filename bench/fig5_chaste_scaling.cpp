@@ -14,12 +14,14 @@
 #include <vector>
 
 #include "apps/chaste/chaste.hpp"
+#include "bench/registry.hpp"
 #include "core/driver.hpp"
 #include "core/options.hpp"
+#include "core/report_bridge.hpp"
 #include "core/table.hpp"
 
-int main(int argc, char** argv) {
-  const cirrus::core::Options opts(argc, argv);
+CIRRUS_BENCH_TARGET(fig5, "paper",
+                    "Chaste total and KSp-section speedup over 8 cores on Vayu and DCC") {
   using namespace cirrus;
   const int np_list[] = {8, 16, 32, 48, 64};
   const char* platforms[] = {"vayu", "dcc"};
@@ -70,6 +72,7 @@ int main(int argc, char** argv) {
         k8 = r.ksp;
         std::printf("%s t8 = %.0f s (paper: %s), KSp t8 = %.0f s (paper: %s)\n", pname, t8,
                     pname[0] == 'v' ? "1017" : "1599", k8, pname[0] == 'v' ? "579" : "938");
+        report.add("t8_total_s", pname, 8, t8, "s").add("t8_ksp_s", pname, 8, k8, "s");
       }
       total.points.emplace_back(np, t8 / r.total);
       ksp.points.emplace_back(np, k8 / r.ksp);
@@ -81,5 +84,6 @@ int main(int argc, char** argv) {
   if (const auto dir = opts.get("csv")) {
     std::printf("wrote %s\n", cirrus::core::write_figure_csv(fig, *dir).c_str());
   }
+  core::figure_to_report(fig, "speedup", "", report);
   return 0;
 }

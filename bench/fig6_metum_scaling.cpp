@@ -13,8 +13,10 @@
 #include <vector>
 
 #include "apps/metum/metum.hpp"
+#include "bench/registry.hpp"
 #include "core/driver.hpp"
 #include "core/options.hpp"
+#include "core/report_bridge.hpp"
 #include "core/table.hpp"
 
 namespace {
@@ -33,8 +35,8 @@ double warmed(const cirrus::plat::Platform& platform, int np, int max_rpn) {
 
 }  // namespace
 
-int main(int argc, char** argv) {
-  const cirrus::core::Options opts(argc, argv);
+CIRRUS_BENCH_TARGET(fig6, "paper",
+                    "MetUM warmed-time speedup over 8 cores (Vayu, DCC, EC2, EC2-4)") {
   using namespace cirrus;
   const int np_list[] = {8, 16, 24, 32, 48, 64};
 
@@ -97,6 +99,7 @@ int main(int argc, char** argv) {
       if (np == 8) {
         t8 = t;
         std::printf("%s t8 = %.0f s (paper %s)\n", c.label, t8, c.paper_t8);
+        report.add("t8_warmed_s", valid::slug(c.label), 8, t8, "s");
       }
       s.points.emplace_back(np, t8 / t);
     }
@@ -106,5 +109,6 @@ int main(int argc, char** argv) {
   if (const auto dir = opts.get("csv")) {
     std::printf("wrote %s\n", cirrus::core::write_figure_csv(fig, *dir).c_str());
   }
+  core::figure_to_report(fig, "speedup_warmed", "", report);
   return 0;
 }

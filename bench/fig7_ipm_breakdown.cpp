@@ -10,11 +10,12 @@
 #include <cstdio>
 
 #include "apps/metum/metum.hpp"
+#include "bench/registry.hpp"
 #include "core/table.hpp"
 
 namespace {
 
-void breakdown(const char* pname) {
+void breakdown(const char* pname, cirrus::valid::RunReport& report) {
   cirrus::mpi::JobConfig cfg;
   cfg.platform = cirrus::plat::by_name(pname);
   cfg.np = 32;
@@ -49,12 +50,18 @@ void breakdown(const char* pname) {
   std::printf("totals: comp %.0f s, comm user %.0f s, comm system %.0f s "
               "(system/user = %.1f)\n",
               comp, user, sys, user > 0 ? sys / user : 0.0);
+  report.events += r.events_processed;
+  report.add("atm_comp_s", pname, 32, comp, "s")
+      .add("atm_comm_user_s", pname, 32, user, "s")
+      .add("atm_comm_sys_s", pname, 32, sys, "s")
+      .add("atm_sys_user_ratio", pname, 32, user > 0 ? sys / user : 0.0);
 }
 
 }  // namespace
 
-int main() {
-  breakdown("vayu");
-  breakdown("dcc");
+CIRRUS_BENCH_TARGET(fig7, "paper",
+                    "MetUM ATM_STEP per-rank comp/comm breakdown at 32 cores") {
+  breakdown("vayu", report);
+  breakdown("dcc", report);
   return 0;
 }

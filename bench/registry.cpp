@@ -1,0 +1,49 @@
+#include "bench/registry.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cstring>
+
+namespace cirrus::bench {
+
+namespace {
+
+std::vector<Target>& mutable_targets() {
+  static std::vector<Target> targets;
+  return targets;
+}
+
+/// Canonical presentation order; registration order is link order, which is
+/// not meaningful.
+int canonical_index(std::string_view name) {
+  static constexpr std::array kOrder = {"fig1", "fig2", "fig3", "fig4", "tab2", "fig5",
+                                        "fig6", "tab3", "fig7", "ext1", "ext2", "ext3",
+                                        "ext4", "ext5", "ext6"};
+  for (std::size_t i = 0; i < kOrder.size(); ++i) {
+    if (name == kOrder[i]) return static_cast<int>(i);
+  }
+  return static_cast<int>(kOrder.size());
+}
+
+}  // namespace
+
+int register_target(const Target& t) {
+  auto& targets = mutable_targets();
+  targets.push_back(t);
+  std::sort(targets.begin(), targets.end(), [](const Target& a, const Target& b) {
+    const int ia = canonical_index(a.name), ib = canonical_index(b.name);
+    return ia != ib ? ia < ib : std::strcmp(a.name, b.name) < 0;
+  });
+  return static_cast<int>(targets.size());
+}
+
+const std::vector<Target>& all_targets() { return mutable_targets(); }
+
+const Target* find_target(std::string_view name) {
+  for (const auto& t : all_targets()) {
+    if (name == t.name) return &t;
+  }
+  return nullptr;
+}
+
+}  // namespace cirrus::bench

@@ -1,0 +1,51 @@
+// Registry of bench targets: every paper figure/table and extension study
+// registers itself here, so the standalone per-target binaries and the
+// unified cirrus_bench driver run the exact same code through the exact same
+// entry point.
+//
+// A target is a function taking the parsed command-line options and a
+// valid::RunReport to fill; it prints its human-readable tables to stdout as
+// it always did and additionally records every number it plots as a
+// structured metric. Return value is the process exit code.
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "core/options.hpp"
+#include "valid/report.hpp"
+
+namespace cirrus::bench {
+
+using TargetFn = int (*)(const cirrus::core::Options& opts, cirrus::valid::RunReport& report);
+
+struct Target {
+  const char* name;         ///< registry id: "fig1", "tab2", "ext5", ...
+  const char* suite;        ///< "paper" (fig/tab) or "ext"
+  const char* description;  ///< one line, shown by `cirrus_bench --list`
+  TargetFn fn;
+};
+
+/// All registered targets, sorted into canonical paper order
+/// (fig1..fig7, tab2, tab3, ext1..ext6; unknown names after, by name).
+const std::vector<Target>& all_targets();
+
+/// Lookup by registry id; nullptr if unknown.
+const Target* find_target(std::string_view name);
+
+/// Called by CIRRUS_BENCH_TARGET at static-init time.
+int register_target(const Target& t);
+
+}  // namespace cirrus::bench
+
+/// Defines and registers a bench target. Usage:
+///   CIRRUS_BENCH_TARGET(fig1, "paper", "OSU bandwidth vs message size") {
+///     ... use opts, fill report, return 0;
+///   }
+#define CIRRUS_BENCH_TARGET(id, suite_, desc)                                      \
+  static int id##_target_fn(const cirrus::core::Options& opts,                     \
+                            cirrus::valid::RunReport& report);                     \
+  [[maybe_unused]] static const int id##_registered =                              \
+      cirrus::bench::register_target({#id, suite_, desc, &id##_target_fn});        \
+  static int id##_target_fn([[maybe_unused]] const cirrus::core::Options& opts,    \
+                            [[maybe_unused]] cirrus::valid::RunReport& report)

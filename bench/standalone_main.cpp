@@ -1,0 +1,50 @@
+// main() for the standalone per-target bench binaries. Each binary is this
+// file plus the full target registry, compiled with CIRRUS_BENCH_STANDALONE
+// naming the target it fronts; behaviour (CLI flags, stdout) is identical to
+// running the same target through cirrus_bench.
+//
+// Extra flag: --report prints the structured metric list after the usual
+// human-readable output.
+#include <chrono>
+#include <cstdio>
+#include <exception>
+
+#include "bench/registry.hpp"
+#include "core/options.hpp"
+#include "core/table.hpp"
+
+#ifndef CIRRUS_BENCH_STANDALONE
+#error "compile with -DCIRRUS_BENCH_STANDALONE=\"<target>\""
+#endif
+
+int main(int argc, char** argv) {
+  using namespace cirrus;
+  const auto* target = bench::find_target(CIRRUS_BENCH_STANDALONE);
+  if (target == nullptr) {
+    std::fprintf(stderr, "bench target '%s' is not registered\n", CIRRUS_BENCH_STANDALONE);
+    return 2;
+  }
+  try {
+    const core::Options opts(argc, argv);
+    valid::RunReport report;
+    report.target = target->name;
+    report.title = target->description;
+    const auto start = std::chrono::steady_clock::now();
+    const int rc = target->fn(opts, report);
+    report.host_ms =
+        std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - start)
+            .count();
+    if (opts.has("report")) {
+      core::Table t({"metric", "platform", "x", "value", "units"});
+      for (const auto& m : report.metrics) {
+        t.row().add(m.name).add(m.platform).add(m.ranks).add(m.value, 6).add(m.units);
+      }
+      std::printf("\n## %s structured report (%zu metrics, %.0f ms host)\n%s", report.target.c_str(),
+                  report.metrics.size(), report.host_ms, t.str().c_str());
+    }
+    return rc;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

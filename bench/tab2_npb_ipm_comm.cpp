@@ -9,16 +9,18 @@
 // Sweep points run concurrently on the parallel driver (`--jobs N` or
 // CIRRUS_JOBS); the table is identical for every jobs value.
 #include <cstdio>
+#include <string>
 #include <vector>
 
+#include "bench/registry.hpp"
 #include "core/driver.hpp"
 #include "core/options.hpp"
 #include "core/table.hpp"
 #include "npb/npb.hpp"
 
-int main(int argc, char** argv) {
+CIRRUS_BENCH_TARGET(tab2, "paper",
+                    "IPM %comm for NPB CG/FT/IS class B at np=2..64 per platform") {
   using namespace cirrus;
-  const core::Options opts(argc, argv);
   const int np_list[] = {2, 4, 8, 16, 32, 64};
   const char* benches[] = {"CG", "FT", "IS"};
   const auto platforms = plat::study_platforms();
@@ -50,7 +52,11 @@ int main(int argc, char** argv) {
   for (const int np : np_list) {
     t.row().add(np);
     for (std::size_t b = 0; b < std::size(benches); ++b) {
-      for (std::size_t p = 0; p < platforms.size(); ++p) t.add(comm_pct[idx++], 1);
+      for (std::size_t p = 0; p < platforms.size(); ++p) {
+        report.add(std::string("comm_pct_") + benches[b], platforms[p].name, np,
+                   comm_pct[idx], "%");
+        t.add(comm_pct[idx++], 1);
+      }
     }
   }
   std::printf("## tab2: IPM %%comm for selected NPB class B benchmarks\n%s", t.str().c_str());

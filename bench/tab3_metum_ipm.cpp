@@ -4,10 +4,11 @@
 //   time(s): 303 / 624 / 770 / 380          rcomp: 1.0 / 1.37 / 2.39 / 1.17
 //   rcomm:   1.0 / 6.71 / 3.53 / ~1         %comm: 13 / 42 / 18 / 18
 //   %imbal:  13 / 4 / 18 / 19               I/O(s): 4.5 / 37.8 / 9.1 / 7.6
-#include <algorithm>
 #include <cstdio>
+#include <cstdint>
 
 #include "apps/metum/metum.hpp"
+#include "bench/registry.hpp"
 #include "core/table.hpp"
 
 namespace {
@@ -15,6 +16,7 @@ namespace {
 struct Row {
   std::string name;
   double time_s = 0, comp_s = 0, comm_s = 0, comm_pct = 0, imbal_pct = 0, io_s = 0;
+  std::uint64_t events = 0;
 };
 
 Row run_config(const std::string& name, const cirrus::plat::Platform& platform, int max_rpn) {
@@ -26,20 +28,23 @@ Row run_config(const std::string& name, const cirrus::plat::Platform& platform, 
   cfg.execute = false;
   cfg.name = "metum32." + name;
   auto r = cirrus::mpi::run_job(cfg, [](cirrus::mpi::RankEnv& env) { cirrus::metum::run(env); });
+  const auto agg = r.ipm.aggregate();
   Row row;
   row.name = name;
   row.time_s = r.elapsed_seconds;
-  row.comp_s = r.ipm.comp_seconds();
-  row.comm_s = r.ipm.comm_seconds();
-  row.comm_pct = r.ipm.comm_pct();
-  row.imbal_pct = r.ipm.imbalance_pct();
-  for (const auto& rb : r.ipm.rank_breakdown("")) row.io_s = std::max(row.io_s, rb.io_s);
+  row.comp_s = agg.comp_s;
+  row.comm_s = agg.comm_s;
+  row.comm_pct = agg.comm_pct;
+  row.imbal_pct = agg.imbalance_pct;
+  row.io_s = agg.io_max_s;
+  row.events = r.events_processed;
   return row;
 }
 
 }  // namespace
 
-int main() {
+CIRRUS_BENCH_TARGET(tab3, "paper",
+                    "IPM statistics for MetUM at 32 cores (Vayu, DCC, EC2, EC2-4)") {
   using namespace cirrus;
   const Row rows[] = {
       run_config("Vayu", plat::by_name("vayu"), -1),
@@ -71,5 +76,16 @@ int main() {
   t.add("4.5/37.8/9.1/7.6");
 
   std::printf("## tab3: IPM statistics for UM at 32 cores\n%s", t.str().c_str());
+
+  for (const auto& r : rows) {
+    const std::string p = valid::slug(r.name);
+    report.events += r.events;
+    report.add("time_s", p, 32, r.time_s, "s")
+        .add("rcomp", p, 32, r.comp_s / vayu_comp)
+        .add("rcomm", p, 32, r.comm_s / vayu_comm)
+        .add("comm_pct", p, 32, r.comm_pct, "%")
+        .add("imbal_pct", p, 32, r.imbal_pct, "%")
+        .add("io_s", p, 32, r.io_s, "s");
+  }
   return 0;
 }

@@ -1,0 +1,26 @@
+#include "core/report_bridge.hpp"
+
+#include <cmath>
+#include <sstream>
+
+namespace cirrus::core {
+
+void figure_to_report(const Figure& fig, const std::string& metric, const std::string& units,
+                      valid::RunReport& out) {
+  for (const auto& s : fig.series) {
+    std::istringstream name(s.name);
+    std::string platform, tok, suffix;
+    name >> platform;
+    while (name >> tok) {
+      if (tok.front() == '(') break;
+      suffix += "_" + tok;
+    }
+    const std::string metric_name = metric + suffix;
+    const std::string platform_key = valid::slug(platform);
+    for (const auto& [x, y] : s.points) {
+      out.add(metric_name, platform_key, static_cast<int>(std::lround(x)), y, units);
+    }
+  }
+}
+
+}  // namespace cirrus::core

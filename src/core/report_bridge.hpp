@@ -1,0 +1,24 @@
+// Bridge from the table/figure emitters to the validation subsystem: the
+// bench targets keep building core::Figure exactly as before, and one call
+// mirrors every plotted point into a valid::RunReport for the comparator and
+// the run manifest.
+#pragma once
+
+#include <string>
+
+#include "core/table.hpp"
+#include "valid/report.hpp"
+
+namespace cirrus::core {
+
+/// Adds every (x, y) point of every series of `fig` to `out` as a metric.
+///
+/// The series name's first whitespace-separated token becomes the platform
+/// label (slugged, so "EC2-4" -> "ec2-4"); later tokens are appended to the
+/// metric name ("vayu KSp" + "speedup" -> speedup_KSp@vayu) except for
+/// parenthesised annotations like "(GigE)", which are dropped. The x
+/// coordinate is stored in Metric::ranks (rounded to int).
+void figure_to_report(const Figure& fig, const std::string& metric, const std::string& units,
+                      valid::RunReport& out);
+
+}  // namespace cirrus::core

@@ -119,6 +119,39 @@ JobReport::JobReport(std::vector<RankRecorder> recorders) : recorders_(std::move
   wall_s_ = sim::to_seconds(w);
 }
 
+AggregateStats JobReport::aggregate() const {
+  AggregateStats a;
+  a.nranks = nranks();
+  a.wall_s = wall_s_;
+  if (recorders_.empty()) return a;
+  double comp_io_max = 0, comp_io_sum = 0;
+  for (const auto& r : recorders_) {
+    const auto& t = r.totals();
+    a.comp_s += sim::to_seconds(t.comp);
+    a.comm_user_s += sim::to_seconds(t.comm_user);
+    a.comm_sys_s += sim::to_seconds(t.comm_sys);
+    const double io = sim::to_seconds(t.io);
+    a.io_s += io;
+    a.io_max_s = std::max(a.io_max_s, io);
+    a.mpi_calls += t.mpi_calls;
+    for (const auto& c : r.by_call()) a.mpi_bytes += c.bytes;
+    const double ci = sim::to_seconds(t.comp + t.io);
+    comp_io_sum += ci;
+    comp_io_max = std::max(comp_io_max, ci);
+  }
+  const auto n = static_cast<double>(recorders_.size());
+  a.comp_s /= n;
+  a.comm_user_s /= n;
+  a.comm_sys_s /= n;
+  a.io_s /= n;
+  a.comm_s = a.comm_user_s + a.comm_sys_s;
+  if (wall_s_ > 0) {
+    a.comm_pct = 100.0 * a.comm_s / wall_s_;
+    a.imbalance_pct = 100.0 * (comp_io_max - comp_io_sum / n) / wall_s_;
+  }
+  return a;
+}
+
 double JobReport::comm_pct() const {
   if (recorders_.empty() || wall_s_ <= 0) return 0.0;
   double comm = 0;

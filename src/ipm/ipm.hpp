@@ -136,6 +136,27 @@ struct RankBreakdown {
   double io_s = 0;
 };
 
+/// The report's headline numbers in one struct — everything the paper's
+/// tables quote, available programmatically in a single call rather than
+/// scattered across getters or buried in text_summary() formatting.
+struct AggregateStats {
+  int nranks = 0;
+  double wall_s = 0;
+  // Per-rank means.
+  double comp_s = 0;
+  double comm_s = 0;
+  double comm_user_s = 0;
+  double comm_sys_s = 0;
+  double io_s = 0;
+  /// Max per-rank I/O seconds (Table III's I/O row is a max, not a mean).
+  double io_max_s = 0;
+  double comm_pct = 0;
+  double imbalance_pct = 0;
+  // Totals across ranks.
+  std::uint64_t mpi_calls = 0;
+  std::uint64_t mpi_bytes = 0;
+};
+
 /// Aggregated job-level report, built from all rank recorders after the run.
 class JobReport {
  public:
@@ -144,6 +165,9 @@ class JobReport {
 
   [[nodiscard]] int nranks() const noexcept { return static_cast<int>(recorders_.size()); }
   [[nodiscard]] double wall_seconds() const noexcept { return wall_s_; }
+
+  /// All headline metrics in one pass (see AggregateStats).
+  [[nodiscard]] AggregateStats aggregate() const;
 
   /// Percentage of total walltime spent in MPI (the paper's "%comm").
   [[nodiscard]] double comm_pct() const;

@@ -1,0 +1,32 @@
+#include "valid/paths.hpp"
+
+#include <cstdlib>
+
+#ifndef CIRRUS_SOURCE_DIR
+#define CIRRUS_SOURCE_DIR "."
+#endif
+
+namespace cirrus::valid {
+
+namespace {
+
+const char* env_or_null(const char* name) {
+  const char* v = std::getenv(name);
+  return (v != nullptr && *v != '\0') ? v : nullptr;
+}
+
+}  // namespace
+
+std::string source_root() {
+  if (const char* env = env_or_null("CIRRUS_SOURCE_ROOT")) return env;
+  return CIRRUS_SOURCE_DIR;
+}
+
+std::string reference_dir() {
+  if (const char* env = env_or_null("CIRRUS_REFERENCE_DIR")) return env;
+  return source_root() + "/src/valid/reference";
+}
+
+std::string test_data_dir() { return source_root() + "/tests/data"; }
+
+}  // namespace cirrus::valid

@@ -1,0 +1,39 @@
+#include "valid/report.hpp"
+
+#include <cctype>
+
+namespace cirrus::valid {
+
+RunReport& RunReport::add(std::string name, std::string platform, int ranks, double value,
+                          std::string units) {
+  metrics.push_back(Metric{std::move(name), std::move(platform), ranks, value, std::move(units)});
+  return *this;
+}
+
+const Metric* RunReport::find(std::string_view name, std::string_view platform,
+                              int ranks) const noexcept {
+  for (const auto& m : metrics) {
+    if (m.ranks == ranks && m.name == name && m.platform == platform) return &m;
+  }
+  return nullptr;
+}
+
+std::string slug(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  bool pending_sep = false;
+  for (const char c : s) {
+    const auto u = static_cast<unsigned char>(c);
+    const bool keep = (std::isalnum(u) != 0) || c == '.' || c == '+' || c == '-';
+    if (keep) {
+      if (pending_sep && !out.empty()) out.push_back('_');
+      pending_sep = false;
+      out.push_back(static_cast<char>(std::tolower(u)));
+    } else {
+      pending_sep = true;
+    }
+  }
+  return out;
+}
+
+}  // namespace cirrus::valid

@@ -1,0 +1,51 @@
+// Structured results for the paper-fidelity harness.
+//
+// Every bench target (fig1..fig7, tab2/tab3, ext1..ext6) emits its numbers as
+// a RunReport in addition to its human-readable table. A report is a flat
+// list of metrics keyed by (metric name, platform/config label, x) where x is
+// the point's coordinate — MPI ranks for scaling curves, message bytes for
+// the OSU size sweeps, 0 when not meaningful. The comparator (compare.hpp)
+// checks reports against the committed paper reference tables and
+// manifest.hpp serialises them for CI artifacts.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cirrus::valid {
+
+/// One measured value. `platform` is a whitespace-free lower-case label: a
+/// study platform ("dcc", "ec2", "vayu"), a derived configuration ("ec2-4"),
+/// a policy/variant key, or "-" when the metric is global to the target.
+struct Metric {
+  std::string name;
+  std::string platform;
+  int ranks = 0;  ///< x-coordinate: ranks, message bytes, or 0
+  double value = 0;
+  std::string units;
+};
+
+/// All metrics produced by one bench target in one run.
+struct RunReport {
+  std::string target;  ///< registry id, e.g. "fig4"
+  std::string title;
+  double host_ms = 0;          ///< host wall-clock spent producing it
+  std::uint64_t events = 0;    ///< simulator events executed (0 = untracked)
+  std::vector<Metric> metrics;
+
+  /// Appends a metric; returns *this for chaining.
+  RunReport& add(std::string name, std::string platform, int ranks, double value,
+                 std::string units = "");
+  /// First metric matching (name, platform, ranks), or nullptr.
+  [[nodiscard]] const Metric* find(std::string_view name, std::string_view platform,
+                                   int ranks) const noexcept;
+};
+
+/// Lower-cases `s` and replaces every character outside [a-z0-9.+-] with '_',
+/// collapsing runs — makes free-form labels ("fattree 2:1 / scatter") safe
+/// for metric/platform fields and the reference-file grammar.
+std::string slug(std::string_view s);
+
+}  // namespace cirrus::valid
