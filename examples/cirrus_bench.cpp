@@ -28,6 +28,7 @@
 #include "bench/registry.hpp"
 #include "core/options.hpp"
 #include "core/table.hpp"
+#include "obs/telemetry.hpp"
 #include "valid/compare.hpp"
 #include "valid/manifest.hpp"
 #include "valid/paths.hpp"
@@ -132,6 +133,9 @@ int main(int argc, char** argv) try {
     valid::RunReport report;
     report.target = tgt->name;
     report.title = tgt->description;
+    // Snapshot the process-wide telemetry counters around the target so the
+    // manifest can attribute the deltas (top-N, deterministic) to it.
+    const auto counters_before = obs::GlobalCounters::instance().snapshot();
     const auto start = std::chrono::steady_clock::now();
     int rc = 0;
     try {
@@ -143,6 +147,8 @@ int main(int argc, char** argv) try {
     report.host_ms =
         std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - start)
             .count();
+    report.telemetry = obs::GlobalCounters::diff_top(
+        counters_before, obs::GlobalCounters::instance().snapshot(), /*top_n=*/12);
     if (rc != 0) {
       std::fprintf(stderr, "cirrus_bench: target %s exited with %d\n", tgt->name, rc);
       worst_rc = std::max(worst_rc, rc);

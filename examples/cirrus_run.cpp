@@ -8,7 +8,14 @@
 //
 // Common options: --platform vayu|dcc|ec2  --np N  --rpn ranks-per-node
 //                 --seed S  --execute  --eager BYTES  --ipm (full summary)
-//                 --trace FILE (write a chrome://tracing JSON span trace)
+//                 --trace FILE (write a chrome://tracing JSON span trace;
+//                 with --metrics the trace gains counter tracks, fault
+//                 instants and send->recv flow arrows)
+// Telemetry:      --metrics [FILE] (Prometheus-style text dump of the
+//                 simulator's self-profiling counters; stdout when no FILE)
+//                 --sample-dt SECONDS (virtual-time sampling cadence for
+//                 gauge time series)  --metrics-csv FILE (write the sampled
+//                 series as CSV; requires --sample-dt)
 // Topology:       --topo crossbar|fattree|vswitch|pgroups (fabric between the
 //                 NICs; crossbar = legacy NIC-only model)  --oversub K
 //                 (fat-tree uplink oversubscription)  --leaf N (nodes per
@@ -30,6 +37,7 @@
 #include "core/options.hpp"
 #include "core/table.hpp"
 #include "fault/fault.hpp"
+#include "obs/trace_export.hpp"
 #include "npb/npb.hpp"
 #include "osu/osu.hpp"
 
@@ -45,7 +53,9 @@ int usage(const char* prog) {
                "  common: --rpn ranks-per-node --seed S --eager bytes --ipm\n"
                "  topo:   --topo crossbar|fattree|vswitch|pgroups --oversub K --leaf N\n"
                "          --placement contig|scatter|pgroup\n"
-               "  faults: --mtbf seconds --ckpt seconds --requeue seconds\n",
+               "  faults: --mtbf seconds --ckpt seconds --requeue seconds\n"
+               "  obs:    --metrics [file] --sample-dt seconds --metrics-csv file\n"
+               "          --trace file\n",
                prog);
   return 2;
 }
@@ -64,6 +74,9 @@ mpi::JobConfig base_config(const core::Options& opts) {
   cfg.topology.oversubscription = opts.get_double("oversub", 1.0);
   cfg.topology.leaf_radix = opts.get_int("leaf", 4);
   cfg.placement = topo::placement_from_string(opts.get_or("placement", "contig"));
+  cfg.telemetry.sample_dt_s = opts.get_double("sample-dt", 0.0);
+  cfg.telemetry.enabled = opts.has("metrics") || opts.has("metrics-csv") ||
+                          cfg.telemetry.sample_dt_s > 0;
   return cfg;
 }
 
@@ -127,9 +140,39 @@ void print_result(const mpi::JobResult& r, const std::string& name,
   }
   if (const auto path = opts.get("trace"); path && r.trace) {
     std::ofstream out(*path);
-    out << r.trace->to_chrome_json();
+    if (r.telemetry) {
+      // Enriched trace: counter tracks from the sampler ride along with the
+      // spans, flow arrows and instant markers.
+      out << obs::enriched_chrome_json(r.trace.get(), &r.telemetry->sampler);
+    } else {
+      out << r.trace->to_chrome_json();
+    }
     std::printf("wrote %zu trace events to %s (open in chrome://tracing)\n",
                 r.trace->size(), path->c_str());
+  }
+  if (r.telemetry) {
+    if (opts.has("metrics")) {
+      const std::string text = r.telemetry->prometheus_text();
+      if (const auto path = opts.get("metrics"); path && !path->empty()) {
+        std::ofstream out(*path);
+        out << text;
+        std::printf("wrote %zu metric series to %s\n", r.telemetry->registry.size(),
+                    path->c_str());
+      } else {
+        std::fputs(text.c_str(), stdout);
+      }
+    }
+    if (const auto path = opts.get("metrics-csv"); path) {
+      const std::string csv = r.telemetry->samples_csv();
+      if (csv.empty()) {
+        std::fputs("--metrics-csv: no samples (use --sample-dt to enable sampling)\n",
+                   stderr);
+      } else {
+        std::ofstream out(*path);
+        out << csv;
+        std::printf("wrote sampled time series to %s\n", path->c_str());
+      }
+    }
   }
 }
 
@@ -144,6 +187,7 @@ int run_npb(const core::Options& opts) {
   job.enable_trace = cfg.enable_trace;
   job.topology = cfg.topology;
   job.placement = cfg.placement;
+  job.telemetry = cfg.telemetry;
   const auto r = run_maybe_resilient(
       job,
       [&info, cls](mpi::RankEnv& env) {

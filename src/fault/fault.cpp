@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/telemetry.hpp"
 #include "sim/rng.hpp"
 #include "sim/time.hpp"
 
@@ -158,6 +159,15 @@ void merge_trace(ipm::Trace& dst, const ipm::Trace& src, double offset_s) {
     ev.end += off;
     dst.add(ev);
   }
+  for (ipm::FlowEvent f : src.flows()) {
+    f.send_time += off;
+    f.recv_time += off;
+    dst.add_flow(f);
+  }
+  for (ipm::InstantEvent inst : src.instants()) {
+    inst.t += off;
+    dst.add_instant(std::move(inst));
+  }
 }
 
 /// Installs the attempt-local fault configuration: the schedule's absolute
@@ -231,6 +241,12 @@ ResilientRun run_resilient(const mpi::JobConfig& config,
   }
   out.checkpoints_taken = store->checkpoints_taken();
   out.checkpoint_bytes = store->bytes_written();
+  obs::GlobalCounters::instance().add({
+      {"fault_kills", static_cast<std::uint64_t>(out.faults_hit)},
+      {"fault_restarts", static_cast<std::uint64_t>(out.attempts > 0 ? out.attempts - 1 : 0)},
+      {"fault_checkpoints_taken", static_cast<std::uint64_t>(out.checkpoints_taken)},
+      {"fault_checkpoint_bytes", static_cast<std::uint64_t>(out.checkpoint_bytes)},
+  });
   if (merged) {
     out.trace = merged;
     out.result.trace = merged;
@@ -298,6 +314,11 @@ cloud::SpotRun run_on_spot(cloud::SpotMarket& market, const mpi::JobConfig& conf
     }
   }
   out.finish_s = now;
+  obs::GlobalCounters::instance().add({
+      {"fault_spot_interruptions", static_cast<std::uint64_t>(out.interruptions)},
+      {"fault_spot_on_demand_finishes", out.finished_on_demand ? std::uint64_t{1}
+                                                              : std::uint64_t{0}},
+  });
   return out;
 }
 

@@ -37,6 +37,9 @@ struct Envelope {
   std::shared_ptr<RequestState> sreq;  // rendezvous sender completion
   double sys_frac = 0.0;
   std::uint64_t seq = 0;  // per-mailbox arrival order (wildcard arbitration)
+  // Flow-event provenance (only consumed when tracing is enabled).
+  int src_world = 0;
+  sim::SimTime sent_at = 0;
   // Delivery routing, valid while the envelope rides the event queue.
   Job* job = nullptr;
   Mailbox* mailbox = nullptr;
@@ -268,6 +271,7 @@ class Job {
       // that already finished must not be killed by the late fault event.
       engine.schedule_at(sim::from_seconds(cfg.faults.kill_at_s), [this] {
         if (finished_ranks < config.np) {
+          record_instant(-1, "fault: job killed");
           throw JobKilledError(sim::to_seconds(engine.now()), trace);
         }
       });
@@ -284,6 +288,76 @@ class Job {
                                .call = call,
                                .bytes = bytes,
                                .peer = peer});
+  }
+
+  /// Send→recv flow arrow for a just-matched envelope (trace-gated).
+  void record_flow(const Envelope& env, int dst_world) {
+    if (!trace) return;
+    trace->add_flow(ipm::FlowEvent{.src_rank = env.src_world,
+                                   .dst_rank = dst_world,
+                                   .send_time = env.sent_at,
+                                   .recv_time = engine.now(),
+                                   .bytes = env.bytes});
+  }
+
+  void record_instant(int world_rank, std::string name) {
+    if (!trace) return;
+    trace->add_instant(
+        ipm::InstantEvent{.rank = world_rank, .t = engine.now(), .name = std::move(name)});
+  }
+
+  /// Opens the job's live metrics: histogram handles on the match path,
+  /// polled gauges over engine/network/match state, and — when a cadence is
+  /// configured — sampler channels for the time series. Called before the
+  /// first event runs; only ever called when telemetry is enabled.
+  void setup_telemetry(obs::JobTelemetry& t) {
+    h_message_bytes = t.registry.histogram("mpi_message_bytes");
+    h_unexpected_depth = t.registry.histogram("mpi_unexpected_bucket_depth");
+
+    t.registry.gauge("sim_heap_depth", {},
+                     [this] { return static_cast<double>(engine.events_pending()); });
+    t.registry.gauge("mpi_unexpected_depth", {},
+                     [this] { return static_cast<double>(counters.unexpected_now); });
+    t.registry.gauge("mpi_posted_depth", {},
+                     [this] { return static_cast<double>(counters.posted_now); });
+    const int nodes = node_span();
+    for (int n = 0; n < nodes; ++n) {
+      t.registry.gauge("net_nic_tx_busy_seconds", {{"node", std::to_string(n)}}, [this, n] {
+        return sim::to_seconds(network.nic_stats()[static_cast<std::size_t>(n)].tx_busy);
+      });
+      t.registry.gauge("net_nic_rx_busy_seconds", {{"node", std::to_string(n)}}, [this, n] {
+        return sim::to_seconds(network.nic_stats()[static_cast<std::size_t>(n)].rx_busy);
+      });
+    }
+    const std::size_t nlinks = network.link_stats().size();
+    for (std::size_t li = 0; li < nlinks; ++li) {
+      t.registry.gauge("net_link_busy_seconds", {{"link", std::to_string(li)}}, [this, li] {
+        return sim::to_seconds(network.link_stats()[li].busy);
+      });
+    }
+
+    if (config.telemetry.sample_dt_s > 0) {
+      t.sampler.add_channel("sim_heap_depth",
+                            [this] { return static_cast<double>(engine.events_pending()); });
+      t.sampler.add_channel("mpi_unexpected_depth",
+                            [this] { return static_cast<double>(counters.unexpected_now); });
+      for (int n = 0; n < nodes; ++n) {
+        t.sampler.add_channel(
+            obs::MetricsRegistry::series_id("net_nic_tx_busy_s", {{"node", std::to_string(n)}}),
+            [this, n] {
+              return sim::to_seconds(network.nic_stats()[static_cast<std::size_t>(n)].tx_busy);
+            });
+      }
+      for (std::size_t li = 0; li < nlinks; ++li) {
+        t.sampler.add_channel(
+            obs::MetricsRegistry::series_id("net_link_busy_s", {{"link", std::to_string(li)}}),
+            [this, li] { return sim::to_seconds(network.link_stats()[li].busy); });
+      }
+      // The tick re-arms only while ranks are still running, so the sampler
+      // never keeps the drained event queue alive past job completion.
+      t.sampler.install(engine, sim::from_seconds(config.telemetry.sample_dt_s),
+                        [this] { return finished_ranks < config.np; });
+    }
   }
 
   [[nodiscard]] int node_span() const {
@@ -305,10 +379,12 @@ class Job {
   /// Pooled in-flight envelope shells; addresses are stable (deque) so an
   /// Envelope* can ride the engine's raw event path.
   Envelope* acquire_envelope() {
+    ++counters.envelopes_acquired;
     if (env_free_.empty()) {
       env_slab_.emplace_back();
       return &env_slab_.back();
     }
+    ++counters.envelopes_reused;
     Envelope* env = env_free_.back();
     env_free_.pop_back();
     return env;
@@ -353,6 +429,34 @@ class Job {
   std::vector<char> in_coll;
   /// Recycled eager-payload and collective-scratch storage.
   BufferPool buffers;
+
+  /// Always-on intrinsic MPI-layer counters, maintained inline on the match
+  /// and pool paths (plain adds, no indirection). Harvested into the obs
+  /// registry and the process-wide GlobalCounters at job end. Deterministic:
+  /// pure functions of the virtual event stream.
+  struct MpiCounters {
+    std::uint64_t sends_eager = 0;
+    std::uint64_t sends_rendezvous = 0;
+    std::uint64_t recvs_matched_posted = 0;      ///< envelope met a waiting recv
+    std::uint64_t recvs_matched_unexpected = 0;  ///< recv found a queued envelope
+    std::uint64_t recvs_posted = 0;              ///< recv had to wait (posted)
+    std::uint64_t unexpected_enqueued = 0;
+    std::uint64_t wildcard_scans = 0;  ///< wildcard bucket scans (recv side)
+    std::uint64_t envelopes_acquired = 0;
+    std::uint64_t envelopes_reused = 0;  ///< served from the envelope free list
+    std::uint64_t checkpoints_committed = 0;
+    std::uint64_t checkpoint_bytes = 0;
+    // Live queue depths (job-global, across all mailboxes) + high-water marks.
+    std::uint64_t unexpected_now = 0;
+    std::uint64_t unexpected_hwm = 0;
+    std::uint64_t posted_now = 0;
+    std::uint64_t posted_hwm = 0;
+  };
+  MpiCounters counters;
+  /// Telemetry handles — null no-ops unless config.telemetry.enabled, so the
+  /// default cost on the match path is one predictable branch each.
+  obs::Histogram h_message_bytes;
+  obs::Histogram h_unexpected_depth;
 
  private:
   std::unordered_map<std::uint64_t, Mailbox> mail_;  // key: comm_id << 32 | world rank
@@ -431,6 +535,7 @@ void start_rendezvous_transfer(Job& job, Envelope& env, const PostedRecv& pr, in
 
 /// Completes a matched (envelope, posted recv) pair at the receiver.
 void consume_match(Job& job, int dst_world, Envelope&& env, const PostedRecv& pr) {
+  job.record_flow(env, dst_world);
   if (env.rendezvous) {
     start_rendezvous_transfer(job, env, pr, job.node_of(dst_world));
   } else {
@@ -463,15 +568,24 @@ void deliver(Job& job, Envelope&& env) {
   if (exact != nullptr && (wild == nullptr || exact->seq < wild->seq)) {
     PostedRecv pr = std::move(exact_it->second.front());
     detail::bucket_pop(mb.posted_exact, exact_it, mb.spare_recv);
+    ++job.counters.recvs_matched_posted;
+    --job.counters.posted_now;
     consume_match(job, dst_world, std::move(env), pr);
   } else if (wild != nullptr) {
     PostedRecv pr = std::move(*wild_it);
     mb.posted_wild.erase(wild_it);
+    ++job.counters.recvs_matched_posted;
+    --job.counters.posted_now;
     consume_match(job, dst_world, std::move(env), pr);
   } else {
     env.seq = mb.next_arrival_seq++;
-    detail::bucket_get(mb.unexpected, match_key(env.src, env.tag), mb.spare_env)
-        .push_back(std::move(env));
+    auto& bucket =
+        detail::bucket_get(mb.unexpected, match_key(env.src, env.tag), mb.spare_env);
+    bucket.push_back(std::move(env));
+    auto& c = job.counters;
+    ++c.unexpected_enqueued;
+    if (++c.unexpected_now > c.unexpected_hwm) c.unexpected_hwm = c.unexpected_now;
+    job.h_unexpected_depth.observe(bucket.size());
   }
 }
 
@@ -537,8 +651,16 @@ void Comm::p2p_send(int dst, int tag, const void* data, std::size_t bytes, ipm::
   env->bytes = bytes;
   env->src_node = src_node;
   env->sys_frac = sys_frac;
+  env->src_world = src_world;
+  env->sent_at = t0;
+  job.h_message_bytes.observe(bytes);
 
   const bool eager = bytes <= job.config.eager_threshold_bytes;
+  if (eager) {
+    ++job.counters.sends_eager;
+  } else {
+    ++job.counters.sends_rendezvous;
+  }
   // Blocking eager sends complete locally the moment the NIC is free, so they
   // need no RequestState at all; one is allocated (pooled) only when a Request
   // handle escapes the call. A blocking rendezvous send cannot return before
@@ -617,6 +739,7 @@ Request Comm::p2p_recv(int src, int tag, void* data, std::size_t bytes, ipm::Cal
     auto it = mb.unexpected.find(match_key(src, tag));
     if (it != mb.unexpected.end() && !it->second.empty()) bucket_it = it;
   } else {
+    ++job.counters.wildcard_scans;
     std::uint64_t best_seq = 0;
     for (auto it = mb.unexpected.begin(); it != mb.unexpected.end(); ++it) {
       if (it->second.empty()) continue;
@@ -631,6 +754,9 @@ Request Comm::p2p_recv(int src, int tag, void* data, std::size_t bytes, ipm::Cal
   if (bucket_it != mb.unexpected.end()) {
     Envelope env = std::move(bucket_it->second.front());
     detail::bucket_pop(mb.unexpected, bucket_it, mb.spare_env);
+    ++job.counters.recvs_matched_unexpected;
+    --job.counters.unexpected_now;
+    job.record_flow(env, my_world);
     if (env.rendezvous) {
       PostedRecv pr{src, tag, static_cast<std::byte*>(data), bytes, rreq, 0};
       start_rendezvous_transfer(job, env, pr, job.node_of(my_world));
@@ -650,6 +776,9 @@ Request Comm::p2p_recv(int src, int tag, void* data, std::size_t bytes, ipm::Cal
     } else {
       mb.posted_wild.push_back(std::move(pr));
     }
+    auto& c = job.counters;
+    ++c.recvs_posted;
+    if (++c.posted_now > c.posted_hwm) c.posted_hwm = c.posted_now;
   }
 
   Request req(std::move(rreq));
@@ -1356,11 +1485,16 @@ void RankEnv::checkpoint(int step, const void* data, std::size_t bytes) {
   CheckpointStore* store = job_->config.checkpoint_store;
   if (store == nullptr) return;
   store->stage(world_rank_, job_->config.np, step, data, bytes);
+  job_->counters.checkpoint_bytes += bytes;
   io_write(bytes, /*open_file=*/true);
   world_->barrier();
   // The barrier proves every rank's write completed; only then does the
   // staged set become the restart point.
-  if (world_rank_ == 0) store->commit(now_seconds());
+  if (world_rank_ == 0) {
+    store->commit(now_seconds());
+    ++job_->counters.checkpoints_committed;
+    job_->record_instant(-1, "checkpoint commit (step " + std::to_string(step) + ")");
+  }
 }
 
 int RankEnv::restore_checkpoint(void* data, std::size_t bytes) {
@@ -1391,9 +1525,60 @@ double RankEnv::now_seconds() const noexcept { return sim::to_seconds(job_->engi
 // Job launcher.
 // ---------------------------------------------------------------------------
 
+namespace {
+
+/// One finished job's intrinsic counters under their canonical series ids.
+/// All values are deterministic event-stream functions; summing them across
+/// jobs is order-independent, which is what makes the process-wide totals
+/// byte-identical under any --jobs worker count.
+std::vector<std::pair<std::string, std::uint64_t>> intrinsic_counters(const Job& job) {
+  const sim::Engine::Stats& es = job.engine.stats();
+  const net::NetStats& ns = job.network.stats();
+  const auto& mc = job.counters;
+  return {
+      {"sim_events_total", job.engine.events_processed()},
+      {"sim_events_wake", es.wake_events},
+      {"sim_events_callback", es.callback_events},
+      {"sim_events_raw", es.raw_events},
+      {"sim_fiber_switches", es.fiber_switches},
+      {"sim_heap_depth_hwm", es.heap_hwm},
+      {"sim_slab_slots_hwm", es.slab_slots_hwm},
+      {"sim_slab_reuses", es.slab_reuses},
+      {"sim_deadlock_scans", es.deadlock_scans},
+      {"net_transfers_internode", ns.transfers_internode},
+      {"net_transfers_intranode", ns.transfers_intranode},
+      {"net_bytes_internode", ns.bytes_internode},
+      {"net_bytes_intranode", ns.bytes_intranode},
+      {"net_routed_hops", ns.routed_hops},
+      {"net_incast_collisions", ns.incast_collisions},
+      {"net_jitter_spikes", ns.jitter_spikes},
+      {"net_control_messages", ns.control_messages},
+      {"mpi_sends_eager", mc.sends_eager},
+      {"mpi_sends_rendezvous", mc.sends_rendezvous},
+      {"mpi_recvs_matched_posted", mc.recvs_matched_posted},
+      {"mpi_recvs_matched_unexpected", mc.recvs_matched_unexpected},
+      {"mpi_recvs_posted", mc.recvs_posted},
+      {"mpi_unexpected_enqueued", mc.unexpected_enqueued},
+      {"mpi_unexpected_hwm", mc.unexpected_hwm},
+      {"mpi_posted_hwm", mc.posted_hwm},
+      {"mpi_wildcard_scans", mc.wildcard_scans},
+      {"mpi_envelopes_acquired", mc.envelopes_acquired},
+      {"mpi_envelopes_reused", mc.envelopes_reused},
+      {"mpi_checkpoints_committed", mc.checkpoints_committed},
+      {"mpi_checkpoint_bytes", mc.checkpoint_bytes},
+  };
+}
+
+}  // namespace
+
 JobResult run_job(const JobConfig& config, const std::function<void(RankEnv&)>& body) {
   if (config.np <= 0) throw std::invalid_argument("run_job: np must be positive");
   Job job(config);
+  std::shared_ptr<obs::JobTelemetry> telemetry;
+  if (config.telemetry.enabled) {
+    telemetry = std::make_shared<obs::JobTelemetry>();
+    job.setup_telemetry(*telemetry);
+  }
   for (int r = 0; r < config.np; ++r) {
     job.engine.spawn(config.name + "/rank" + std::to_string(r), [&job, &body, r](sim::Process& p) {
       job.procs[static_cast<std::size_t>(r)] = &p;
@@ -1405,6 +1590,17 @@ JobResult run_job(const JobConfig& config, const std::function<void(RankEnv&)>& 
   }
   job.engine.run();
 
+  // Publish intrinsic counters: always into the process-wide totals (one
+  // short lock per job), and into the job's own registry when profiling.
+  const auto intrinsic = intrinsic_counters(job);
+  obs::GlobalCounters::instance().add(intrinsic);
+  if (telemetry != nullptr) {
+    for (const auto& [name, v] : intrinsic) telemetry->registry.counter(name).inc(v);
+    // Freeze polled gauges so the telemetry bundle is self-contained once
+    // the engine and network die with this frame.
+    telemetry->registry.freeze_gauges();
+  }
+
   JobResult result;
   result.events_processed = job.engine.events_processed();
   result.ipm = ipm::JobReport(std::move(job.recorders));
@@ -1413,6 +1609,8 @@ JobResult run_job(const JobConfig& config, const std::function<void(RankEnv&)>& 
   result.trace = std::move(job.trace);
   result.topology = job.network.topology_ptr();
   result.link_stats = job.network.link_stats();
+  result.nic_stats = job.network.nic_stats();
+  result.telemetry = std::move(telemetry);
   return result;
 }
 

@@ -27,6 +27,7 @@
 #include "ipm/ipm.hpp"
 #include "ipm/trace.hpp"
 #include "net/network.hpp"
+#include "obs/telemetry.hpp"
 #include "platform/platform.hpp"
 #include "sim/engine.hpp"
 
@@ -406,6 +407,10 @@ struct JobConfig {
   /// Rank 0 triggers a checkpoint when this much virtual time has passed
   /// since the last commit (<= 0: checkpoint only on interruption warnings).
   double checkpoint_interval_s = 0;
+  /// Simulator self-profiling (see obs::TelemetryConfig). Off by default:
+  /// the job then schedules no telemetry events and allocates no registry,
+  /// keeping the event stream bit-identical to an un-instrumented build.
+  obs::TelemetryConfig telemetry;
 };
 
 /// Result of a simulated job.
@@ -423,6 +428,12 @@ struct JobResult {
   /// Per-link utilisation, index-aligned with topology->links(). Empty on
   /// the crossbar.
   std::vector<net::LinkStats> link_stats;
+  /// Per-node NIC utilisation (always populated; the crossbar's utilisation
+  /// signal, since it has no fabric links).
+  std::vector<net::NicStats> nic_stats;
+  /// Self-profiling results (null unless JobConfig::telemetry.enabled).
+  /// Gauges are frozen, so this outlives the engine safely.
+  std::shared_ptr<const obs::JobTelemetry> telemetry;
 };
 
 /// Launches `config.np` ranks running `body` and simulates to completion.

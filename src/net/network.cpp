@@ -12,6 +12,7 @@ Network::Network(sim::Engine& engine, const plat::Platform& platform, int nodes,
       tx_free_(static_cast<std::size_t>(std::max(1, nodes)), 0),
       rx_free_(static_cast<std::size_t>(std::max(1, nodes)), 0),
       rx_last_src_(static_cast<std::size_t>(std::max(1, nodes)), -1),
+      nic_stats_(static_cast<std::size_t>(std::max(1, nodes))),
       rng_(sim::Rng(seed).fork(0x4E7)) {}
 
 void Network::set_fault_hooks(NodeFactorFn bw_factor, NodeFactorFn extra_latency_us) {
@@ -53,6 +54,7 @@ sim::SimTime Network::wire_latency(bool internode) {
   double us = platform_.nic.latency_us;
   if (platform_.nic.jitter_prob > 0.0 && rng_.chance(platform_.nic.jitter_prob)) {
     us += rng_.exponential(platform_.nic.jitter_mean_us);
+    ++stats_.jitter_spikes;
   }
   return sim::from_micros(us);
 }
@@ -62,6 +64,8 @@ TransferTiming Network::transfer(int src_node, int dst_node, std::size_t bytes) 
   const sim::SimTime overhead = sim::from_micros(platform_.nic.per_msg_overhead_us);
 
   if (src_node == dst_node) {
+    ++stats_.transfers_intranode;
+    stats_.bytes_intranode += bytes;
     // Shared-memory transport: a copy at shm bandwidth after a small latency.
     const sim::SimTime copy =
         sim::from_seconds(static_cast<double>(bytes) / platform_.shm.bandwidth_Bps);
@@ -69,6 +73,9 @@ TransferTiming Network::transfer(int src_node, int dst_node, std::size_t bytes) 
     // The sender performs the copy (one-copy shared-memory protocol).
     return TransferTiming{.sender_free = now + copy, .arrival = now + copy + lat};
   }
+
+  ++stats_.transfers_internode;
+  stats_.bytes_internode += bytes;
 
   assert(src_node >= 0 && static_cast<std::size_t>(src_node) < tx_free_.size());
   assert(dst_node >= 0 && static_cast<std::size_t>(dst_node) < rx_free_.size());
@@ -92,6 +99,13 @@ TransferTiming Network::transfer(int src_node, int dst_node, std::size_t bytes) 
   const sim::SimTime tx_end = tx_start + busy;
   src_tx = tx_end;
   if (hd) src_rx = tx_end;
+  {
+    NicStats& nic = nic_stats_[static_cast<std::size_t>(src_node)];
+    ++nic.tx_transfers;
+    nic.tx_bytes += bytes;
+    nic.tx_busy += busy;
+    nic.tx_queued += tx_start - (now + overhead);
+  }
 
   // Wire: base latency + jitter; cut-through, so the head of the message
   // reaches the RX port one latency after TX starts.
@@ -120,6 +134,7 @@ TransferTiming Network::transfer(int src_node, int dst_node, std::size_t bytes) 
       const sim::SimTime link_busy = sim::from_seconds(static_cast<double>(bytes) / link_bw);
       auto& free_at = link_free_[static_cast<std::size_t>(li)];
       const sim::SimTime start = std::max(head, free_at);
+      ++stats_.routed_hops;
       auto& stats = link_stats_[static_cast<std::size_t>(li)];
       ++stats.transfers;
       stats.bytes += bytes;
@@ -141,6 +156,7 @@ TransferTiming Network::transfer(int src_node, int dst_node, std::size_t bytes) 
   if (platform_.nic.incast_penalty > 1.0 && head < dst_rx && last_src != src_node &&
       last_src >= 0) {
     busy = static_cast<sim::SimTime>(static_cast<double>(busy) * platform_.nic.incast_penalty);
+    ++stats_.incast_collisions;
   }
   last_src = src_node;
   const sim::SimTime rx_start = std::max(head, hd ? std::max(dst_tx, dst_rx) : dst_rx);
@@ -149,11 +165,18 @@ TransferTiming Network::transfer(int src_node, int dst_node, std::size_t bytes) 
   const sim::SimTime rx_end = std::max(rx_start + busy, fabric_tail);
   dst_rx = rx_end;
   if (hd) dst_tx = rx_end;
+  {
+    NicStats& nic = nic_stats_[static_cast<std::size_t>(dst_node)];
+    ++nic.rx_transfers;
+    nic.rx_bytes += bytes;
+    nic.rx_busy += rx_end - rx_start;
+  }
 
   return TransferTiming{.sender_free = tx_end, .arrival = rx_end};
 }
 
 sim::SimTime Network::control_delay(int src_node, int dst_node) {
+  ++stats_.control_messages;
   sim::SimTime d = wire_latency(src_node != dst_node);
   if (src_node != dst_node) {
     d += extra_latency(src_node, dst_node, sim::to_seconds(engine_.now()));

@@ -55,6 +55,33 @@ struct LinkStats {
   sim::SimTime queued = 0;      ///< total head-of-line waiting before service
 };
 
+/// Per-node NIC utilisation counters (TX/RX serial-port occupancy). On the
+/// ideal crossbar there are no fabric links, so these are the network-side
+/// utilisation signal; with a fabric they complement LinkStats.
+struct NicStats {
+  std::uint64_t tx_transfers = 0;  ///< inter-node messages injected here
+  std::uint64_t rx_transfers = 0;  ///< inter-node messages received here
+  std::uint64_t tx_bytes = 0;
+  std::uint64_t rx_bytes = 0;
+  sim::SimTime tx_busy = 0;    ///< total TX port serialisation time
+  sim::SimTime rx_busy = 0;    ///< total RX port occupancy time
+  sim::SimTime tx_queued = 0;  ///< waiting for the TX port before injection
+};
+
+/// Job-wide intrinsic network counters, maintained inline by transfer() /
+/// control_delay(). Deterministic (virtual-time derived) and cheap enough to
+/// keep always on.
+struct NetStats {
+  std::uint64_t transfers_internode = 0;
+  std::uint64_t transfers_intranode = 0;
+  std::uint64_t bytes_internode = 0;
+  std::uint64_t bytes_intranode = 0;
+  std::uint64_t routed_hops = 0;        ///< fabric link reservations made
+  std::uint64_t incast_collisions = 0;  ///< RX-port incast penalty applications
+  std::uint64_t jitter_spikes = 0;      ///< wire-latency jitter draws that fired
+  std::uint64_t control_messages = 0;   ///< RTS/CTS latency-only messages priced
+};
+
 /// Timing of one message as decided by the network model.
 struct TransferTiming {
   /// Virtual time at which the sender's CPU is free again (injection done).
@@ -108,6 +135,14 @@ class Network {
     return link_stats_;
   }
 
+  /// Per-node NIC utilisation counters, index-aligned with job nodes.
+  [[nodiscard]] const std::vector<NicStats>& nic_stats() const noexcept {
+    return nic_stats_;
+  }
+
+  /// Job-wide intrinsic counters (see NetStats).
+  [[nodiscard]] const NetStats& stats() const noexcept { return stats_; }
+
   /// Installs fault-injection hooks: `bw_factor` returns the available
   /// fraction of nominal NIC bandwidth for (node, time), `extra_latency_us`
   /// additional one-way wire latency in microseconds. Either may be null.
@@ -135,6 +170,8 @@ class Network {
   std::vector<sim::SimTime> tx_free_;  // per node
   std::vector<sim::SimTime> rx_free_;  // per node
   std::vector<int> rx_last_src_;       // source node of each RX port's occupant
+  std::vector<NicStats> nic_stats_;    // per node
+  NetStats stats_;
   sim::Rng rng_;
   NodeFactorFn bw_factor_;          // null: nominal bandwidth
   NodeFactorFn extra_latency_us_;   // null: nominal latency

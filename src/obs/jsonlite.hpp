@@ -1,0 +1,41 @@
+// Minimal recursive-descent JSON parser.
+//
+// Exists so tests and tools can round-trip the simulator's own JSON output
+// (Chrome traces, manifests) without external dependencies. Strict by
+// intent: no comments, no trailing commas, no NaN/Infinity — exactly the
+// grammar Perfetto and `python3 -m json.tool` accept, so passing here means
+// the artifact loads downstream.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace cirrus::obs::jsonlite {
+
+struct Value {
+  enum class Type { Null, Bool, Number, String, Array, Object };
+
+  Type type = Type::Null;
+  bool boolean = false;
+  double number = 0;
+  std::string str;
+  std::vector<Value> array;
+  std::vector<std::pair<std::string, Value>> object;  // insertion order kept
+
+  [[nodiscard]] bool is(Type t) const noexcept { return type == t; }
+  /// Object member lookup (first match); nullptr if absent or not an object.
+  [[nodiscard]] const Value* find(std::string_view key) const;
+};
+
+/// Parses exactly one JSON document (leading/trailing whitespace allowed).
+/// On failure returns false and, if `error` is non-null, stores a
+/// "offset N: message" diagnostic.
+bool parse(std::string_view text, Value& out, std::string* error = nullptr);
+
+/// Validation without building the DOM result (still parses fully).
+bool validate(std::string_view text, std::string* error = nullptr);
+
+}  // namespace cirrus::obs::jsonlite

@@ -1,0 +1,162 @@
+// Deterministic metrics registry for the simulator's self-profiling.
+//
+// The paper's entire method is observability (IPM %comm, imbalance, per-rank
+// breakdowns); obs turns the same lens on the simulator itself. A
+// MetricsRegistry holds named counters, polled gauges and log2 histograms
+// with Prometheus-style labels. Everything is derived from virtual time and
+// deterministic event streams, so for a fixed job configuration every value
+// is byte-identical regardless of sweep worker count.
+//
+// Collection is zero-cost when disabled: handles are inline pointer wrappers
+// whose default (disabled) state is a null cell, so an un-instrumented run
+// pays one predictable branch per hook — no allocation, no locking, no
+// virtual dispatch.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace cirrus::obs {
+
+/// One Prometheus-style label pair. Labels are canonicalised (sorted by key)
+/// at registration, so {a=1,b=2} and {b=2,a=1} name the same series.
+struct Label {
+  std::string key;
+  std::string value;
+};
+
+enum class MetricKind : char { Counter = 'c', Gauge = 'g', Histogram = 'h' };
+
+/// Polled gauge: sampled on demand (Sampler cadence or export time). Must be
+/// pure with respect to simulation state — it observes, never mutates.
+using GaugeFn = std::function<double()>;
+
+/// log2 histogram buckets: bucket i counts observations in [2^i, 2^(i+1)),
+/// with 0 and 1 both landing in bucket 0 and everything >= 2^62 in the last.
+inline constexpr int kNumHistBuckets = 63;
+
+/// Bucket index of a value (see kNumHistBuckets).
+int hist_bucket(std::uint64_t value) noexcept;
+
+/// Inclusive upper edge of bucket i: 2^(i+1) - 1.
+std::uint64_t hist_bucket_upper(int bucket) noexcept;
+
+/// Shortest round-trip decimal rendering of a double (same policy as the
+/// manifest writer) — all obs text exporters use this so output is
+/// platform-stable.
+std::string format_double(double v);
+
+namespace detail {
+struct Cell {
+  std::string name;
+  std::vector<Label> labels;  // canonical (key-sorted) order
+  MetricKind kind = MetricKind::Counter;
+  std::uint64_t value = 0;                // counter
+  double gauge_value = 0;                 // gauge (after freeze, or last poll)
+  GaugeFn gauge_fn;                       // gauge (live)
+  std::vector<std::uint64_t> buckets;     // histogram (kNumHistBuckets)
+  std::uint64_t hist_count = 0;
+  std::uint64_t hist_sum = 0;
+};
+}  // namespace detail
+
+/// Monotonic counter handle. Copyable; default-constructed = disabled no-op.
+class Counter {
+ public:
+  Counter() = default;
+  void inc(std::uint64_t d = 1) noexcept {
+    if (cell_ != nullptr) cell_->value += d;
+  }
+  /// High-water update: value = max(value, v).
+  void record_max(std::uint64_t v) noexcept {
+    if (cell_ != nullptr && v > cell_->value) cell_->value = v;
+  }
+  [[nodiscard]] bool enabled() const noexcept { return cell_ != nullptr; }
+  [[nodiscard]] std::uint64_t value() const noexcept {
+    return cell_ != nullptr ? cell_->value : 0;
+  }
+
+ private:
+  friend class MetricsRegistry;
+  explicit Counter(detail::Cell* c) noexcept : cell_(c) {}
+  detail::Cell* cell_ = nullptr;
+};
+
+/// log2 histogram handle. Copyable; default-constructed = disabled no-op.
+class Histogram {
+ public:
+  Histogram() = default;
+  void observe(std::uint64_t v) noexcept {
+    if (cell_ == nullptr) return;
+    ++cell_->buckets[static_cast<std::size_t>(hist_bucket(v))];
+    ++cell_->hist_count;
+    cell_->hist_sum += v;
+  }
+  [[nodiscard]] bool enabled() const noexcept { return cell_ != nullptr; }
+  [[nodiscard]] std::uint64_t count() const noexcept {
+    return cell_ != nullptr ? cell_->hist_count : 0;
+  }
+  [[nodiscard]] std::uint64_t sum() const noexcept {
+    return cell_ != nullptr ? cell_->hist_sum : 0;
+  }
+  [[nodiscard]] std::uint64_t bucket(int i) const noexcept {
+    return cell_ != nullptr ? cell_->buckets[static_cast<std::size_t>(i)] : 0;
+  }
+
+ private:
+  friend class MetricsRegistry;
+  explicit Histogram(detail::Cell* c) noexcept : cell_(c) {}
+  detail::Cell* cell_ = nullptr;
+};
+
+/// Registry of one job's (or one process section's) metrics. Single-threaded
+/// by construction — one registry per simulated job, like the engine itself.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+  MetricsRegistry(MetricsRegistry&&) = default;
+  MetricsRegistry& operator=(MetricsRegistry&&) = default;
+
+  /// Registers (or re-opens) a counter. The same (name, labels) always
+  /// returns a handle to the same cell; a kind clash throws std::logic_error.
+  Counter counter(const std::string& name, std::vector<Label> labels = {});
+  Histogram histogram(const std::string& name, std::vector<Label> labels = {});
+  /// Registers a polled gauge. Re-registering the same series replaces the
+  /// poll function (the previous one is dropped).
+  void gauge(const std::string& name, std::vector<Label> labels, GaugeFn fn);
+
+  /// Snapshots every live gauge into its cell and drops the poll functions,
+  /// making the registry self-contained (safe to outlive the polled objects).
+  void freeze_gauges();
+
+  /// Number of registered series.
+  [[nodiscard]] std::size_t size() const noexcept { return cells_.size(); }
+
+  /// Series in deterministic (name, labels) order.
+  [[nodiscard]] std::vector<const detail::Cell*> sorted_cells() const;
+
+  /// Prometheus text exposition (# TYPE lines, sorted series, histograms as
+  /// cumulative _bucket/_sum/_count). Deterministic for fixed inputs.
+  [[nodiscard]] std::string prometheus_text() const;
+
+  /// Counter values (and histogram counts) as a sorted name -> value list;
+  /// the determinism fingerprint compared across --jobs in tests.
+  [[nodiscard]] std::vector<std::pair<std::string, std::uint64_t>> counter_values() const;
+
+  /// "name{k=\"v\",...}" — the canonical series id used in exports.
+  static std::string series_id(const std::string& name, const std::vector<Label>& labels);
+
+ private:
+  detail::Cell& cell_for(const std::string& name, std::vector<Label> labels, MetricKind kind);
+
+  std::deque<detail::Cell> cells_;  // stable addresses for handles
+  std::map<std::string, detail::Cell*> index_;  // key: series_id
+};
+
+}  // namespace cirrus::obs

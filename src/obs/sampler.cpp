@@ -1,0 +1,53 @@
+#include "obs/sampler.hpp"
+
+#include <sstream>
+
+#include "obs/metrics.hpp"
+
+namespace cirrus::obs {
+
+void Sampler::add_channel(std::string name, std::function<double()> poll) {
+  names_.push_back(std::move(name));
+  polls_.push_back(std::move(poll));
+}
+
+void Sampler::sample_now() {
+  Row row;
+  row.t = engine_->now();
+  row.values.reserve(polls_.size());
+  for (const auto& poll : polls_) row.values.push_back(poll());
+  rows_.push_back(std::move(row));
+}
+
+void Sampler::tick() {
+  sample_now();
+  if (keep_going_ && keep_going_()) {
+    engine_->schedule_after(dt_, [this] { tick(); });
+  }
+}
+
+void Sampler::install(sim::Engine& engine, sim::SimTime dt,
+                      std::function<bool()> keep_going) {
+  if (dt <= 0 || polls_.empty()) return;
+  engine_ = &engine;
+  dt_ = dt;
+  keep_going_ = std::move(keep_going);
+  sample_now();  // t=now baseline row
+  engine_->schedule_after(dt_, [this] { tick(); });
+}
+
+std::string Sampler::csv() const {
+  if (rows_.empty()) return "";  // never installed (or sampling disabled)
+  std::ostringstream os;
+  os << "time_s";
+  for (const auto& n : names_) os << ',' << n;
+  os << '\n';
+  for (const auto& row : rows_) {
+    os << format_double(sim::to_seconds(row.t));
+    for (double v : row.values) os << ',' << format_double(v);
+    os << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace cirrus::obs

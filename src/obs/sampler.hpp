@@ -1,0 +1,63 @@
+// Virtual-time gauge sampler.
+//
+// Snapshots a set of polled channels on a fixed simulated-time cadence into
+// per-metric time series (link utilisation over the job, unexpected-queue
+// growth on a straggler, heap depth...). Because the cadence is measured in
+// virtual nanoseconds the series is deterministic: the same job + seed +
+// sample interval produces byte-identical CSV regardless of host or --jobs.
+//
+// Liveness: the periodic tick must not keep Engine::run() alive after the
+// job finishes, so each tick re-arms only while the caller's `keep_going`
+// predicate holds. The first tick past job completion records a final row
+// and lets the queue drain.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "sim/time.hpp"
+
+namespace cirrus::obs {
+
+class Sampler {
+ public:
+  struct Row {
+    sim::SimTime t = 0;
+    std::vector<double> values;
+  };
+
+  /// Adds a sampled channel. Call before install(); `poll` must stay valid
+  /// until the engine finishes running.
+  void add_channel(std::string name, std::function<double()> poll);
+
+  /// Starts sampling on `engine` every `dt` of virtual time (dt must be > 0
+  /// and there must be at least one channel, else install is a no-op). A row
+  /// is recorded immediately at the current virtual time, then on every tick.
+  /// Ticks re-arm while `keep_going()` is true; the first tick after it turns
+  /// false records the final row and stops.
+  void install(sim::Engine& engine, sim::SimTime dt, std::function<bool()> keep_going);
+
+  [[nodiscard]] const std::vector<std::string>& channels() const noexcept {
+    return names_;
+  }
+  [[nodiscard]] const std::vector<Row>& rows() const noexcept { return rows_; }
+
+  /// "time_s,<ch0>,<ch1>,..." header plus one row per sample, shortest
+  /// round-trip doubles.
+  [[nodiscard]] std::string csv() const;
+
+ private:
+  void sample_now();
+  void tick();
+
+  sim::Engine* engine_ = nullptr;
+  sim::SimTime dt_ = 0;
+  std::function<bool()> keep_going_;
+  std::vector<std::string> names_;
+  std::vector<std::function<double()>> polls_;
+  std::vector<Row> rows_;
+};
+
+}  // namespace cirrus::obs

@@ -1,0 +1,38 @@
+#include "obs/telemetry.hpp"
+
+#include <algorithm>
+
+namespace cirrus::obs {
+
+GlobalCounters& GlobalCounters::instance() {
+  static GlobalCounters g;
+  return g;
+}
+
+void GlobalCounters::add(const std::vector<std::pair<std::string, std::uint64_t>>& values) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, v] : values) totals_[name] += v;
+}
+
+std::map<std::string, std::uint64_t> GlobalCounters::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return totals_;
+}
+
+std::vector<std::pair<std::string, std::uint64_t>> GlobalCounters::diff_top(
+    const std::map<std::string, std::uint64_t>& before,
+    const std::map<std::string, std::uint64_t>& after, std::size_t top_n) {
+  std::vector<std::pair<std::string, std::uint64_t>> out;
+  for (const auto& [name, v] : after) {
+    const auto it = before.find(name);
+    const std::uint64_t prev = it != before.end() ? it->second : 0;
+    if (v > prev) out.emplace_back(name, v - prev);
+  }
+  std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    return a.second != b.second ? a.second > b.second : a.first < b.first;
+  });
+  if (top_n > 0 && out.size() > top_n) out.resize(top_n);
+  return out;
+}
+
+}  // namespace cirrus::obs

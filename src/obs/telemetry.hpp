@@ -1,0 +1,70 @@
+// Job-level telemetry bundle and process-wide counter aggregation.
+//
+// JobTelemetry is what a single simulated job produces when profiling is on:
+// a MetricsRegistry harvested at job end plus the Sampler's virtual-time
+// series. GlobalCounters is the process-wide sink every finished job feeds
+// its intrinsic counters into (always, telemetry on or off — the intrinsic
+// counters are maintained inline and cost nothing extra to publish once per
+// job). Aggregation is a commutative sum per series, so totals are
+// byte-identical no matter how a sweep's jobs were interleaved across
+// --jobs worker threads; cirrus_bench diffs snapshots around each target to
+// embed per-target counters in the manifest.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/sampler.hpp"
+
+namespace cirrus::obs {
+
+/// Per-job telemetry knobs (JobConfig::telemetry).
+struct TelemetryConfig {
+  /// Master switch: off (the default) means no registry, no sampler, no
+  /// extra simulator events — the instrumentation handles stay null no-ops
+  /// and determinism goldens see the exact pre-telemetry event stream.
+  bool enabled = false;
+  /// Virtual-time sampling cadence in seconds; <= 0 disables the sampler
+  /// (counters and final gauge values are still collected).
+  double sample_dt_s = 0;
+};
+
+/// Everything one profiled job collected. Self-contained after run_job
+/// returns (gauges frozen), so it may outlive the engine and network.
+struct JobTelemetry {
+  MetricsRegistry registry;
+  Sampler sampler;
+
+  [[nodiscard]] std::string prometheus_text() const { return registry.prometheus_text(); }
+  [[nodiscard]] std::string samples_csv() const { return sampler.csv(); }
+};
+
+/// Process-wide monotonic counter totals. Thread-safe: sweep workers on
+/// different threads each publish whole jobs under one short lock.
+class GlobalCounters {
+ public:
+  static GlobalCounters& instance();
+
+  /// Adds one finished job's counter values (series id -> value).
+  void add(const std::vector<std::pair<std::string, std::uint64_t>>& values);
+
+  /// Current totals (copy).
+  [[nodiscard]] std::map<std::string, std::uint64_t> snapshot() const;
+
+  /// Per-series delta `after - before`, zero rows dropped, ordered by
+  /// descending delta then name, truncated to `top_n` (0: all).
+  static std::vector<std::pair<std::string, std::uint64_t>> diff_top(
+      const std::map<std::string, std::uint64_t>& before,
+      const std::map<std::string, std::uint64_t>& after, std::size_t top_n);
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::uint64_t> totals_;
+};
+
+}  // namespace cirrus::obs

@@ -1,0 +1,52 @@
+#include "obs/trace_export.hpp"
+
+#include <sstream>
+
+#include "obs/metrics.hpp"
+
+namespace cirrus::obs {
+
+namespace {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      default:
+        out += static_cast<unsigned char>(c) < 0x20 ? '?' : c;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string enriched_chrome_json(const ipm::Trace* trace, const Sampler* sampler) {
+  std::ostringstream os;
+  os << "[";
+  bool first = true;
+  if (trace != nullptr) trace->write_events(os, first);
+  if (sampler != nullptr) {
+    // One "C" counter track per channel; Perfetto plots each as a stepped
+    // area chart above the rank rows.
+    const auto& names = sampler->channels();
+    for (std::size_t c = 0; c < names.size(); ++c) {
+      const std::string escaped = json_escape(names[c]);
+      for (const auto& row : sampler->rows()) {
+        if (!first) os << ",\n";
+        first = false;
+        os << R"({"name":")" << escaped << R"(","ph":"C","pid":0,"ts":)"
+           << sim::to_micros(row.t) << R"(,"args":{"value":)"
+           << format_double(row.values[c]) << "}}";
+      }
+    }
+  }
+  os << "]\n";
+  return os.str();
+}
+
+}  // namespace cirrus::obs

@@ -1,0 +1,18 @@
+// Perfetto/Chrome trace enrichment: merges a job's span trace (with its flow
+// and instant events) and the Sampler's virtual-time series — rendered as
+// counter tracks — into one trace-event JSON array.
+#pragma once
+
+#include <string>
+
+#include "ipm/trace.hpp"
+#include "obs/sampler.hpp"
+
+namespace cirrus::obs {
+
+/// One JSON array holding the trace's rows (spans, thread names, flows,
+/// instants) followed by one "C" counter track per sampler channel. Either
+/// argument may be null; with both null the result is an empty array.
+std::string enriched_chrome_json(const ipm::Trace* trace, const Sampler* sampler);
+
+}  // namespace cirrus::obs

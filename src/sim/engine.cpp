@@ -45,11 +45,13 @@ std::uint32_t Engine::alloc_slot() {
   if (free_head_ != kNil) {
     const std::uint32_t idx = free_head_;
     free_head_ = slot(idx).next_free;
+    ++stats_.slab_reuses;
     return idx;
   }
   if (slab_size_ == slab_.size() * kSlabChunk) {
     slab_.push_back(std::make_unique<FnSlot[]>(kSlabChunk));
   }
+  stats_.slab_slots_hwm = slab_size_ + 1;
   return slab_size_++;
 }
 
@@ -62,6 +64,7 @@ void Engine::heap_push(HeapEntry entry) {
   // Hole-based sift-up: shift parents down and place the entry once.
   std::size_t pos = heap_.size();
   heap_.push_back(entry);
+  if (heap_.size() > stats_.heap_hwm) stats_.heap_hwm = heap_.size();
   HeapEntry* h = heap_.data();
   while (pos > 0) {
     const std::size_t parent = (pos - 1) >> 2;
@@ -166,6 +169,7 @@ void Engine::enter(Process& p) {
   assert(!p.finished());
   current_ = &p;
   p.state_ = Process::State::Running;
+  ++stats_.fiber_switches;
   try {
     p.fiber_.resume();
   } catch (...) {
@@ -186,10 +190,12 @@ void Engine::run() {
       ++events_processed_;
       const unsigned tag = payload_tag(entry.payload);
       if (tag == 0u) {
+        ++stats_.wake_events;
         auto* target = reinterpret_cast<Process*>(entry.payload);
         target->wake_pending_ = false;
         enter(*target);
       } else if (tag == 1u) {
+        ++stats_.callback_events;
         // Slot addresses are stable and the slot is not freed until after the
         // call, so the callback runs in place even if it schedules new events
         // (which may grow the slab but cannot recycle this slot).
@@ -199,6 +205,7 @@ void Engine::run() {
         s.fn = nullptr;
         free_slot(idx);
       } else {
+        ++stats_.raw_events;
         raw_table_[tag - 2u](reinterpret_cast<void*>(entry.payload & ~kTagMask));
       }
     }
@@ -209,6 +216,7 @@ void Engine::run() {
     throw;
   }
   // The queue drained; every process must have run to completion.
+  ++stats_.deadlock_scans;
   std::ostringstream blocked;
   int nblocked = 0;
   for (const auto& p : processes_) {

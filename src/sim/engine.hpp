@@ -78,6 +78,21 @@ class Engine {
     std::size_t fiber_stack_bytes = Fiber::kDefaultStackBytes;
   };
 
+  /// Intrinsic self-profiling counters, maintained inline by the hot loop
+  /// (a handful of predictable adds per event — cheap enough to keep always
+  /// on). Deterministic: derived purely from the event stream, never from
+  /// wall clocks, so they are part of the reproducibility fingerprint.
+  struct Stats {
+    std::uint64_t wake_events = 0;      ///< process wake/start events executed
+    std::uint64_t callback_events = 0;  ///< slab std::function callbacks executed
+    std::uint64_t raw_events = 0;       ///< raw fn-pointer events executed
+    std::uint64_t fiber_switches = 0;   ///< engine→process fiber entries
+    std::uint64_t heap_hwm = 0;         ///< event heap depth high-water mark
+    std::uint64_t slab_slots_hwm = 0;   ///< distinct callback slab slots ever live
+    std::uint64_t slab_reuses = 0;      ///< slab allocations served from the free list
+    std::uint64_t deadlock_scans = 0;   ///< end-of-run blocked-process scans
+  };
+
   Engine() : Engine(Options{}) {}
   explicit Engine(const Options& opts);
   ~Engine();
@@ -89,6 +104,7 @@ class Engine {
   [[nodiscard]] Rng& rng() noexcept { return rng_; }
   [[nodiscard]] std::uint64_t events_processed() const noexcept { return events_processed_; }
   [[nodiscard]] std::size_t events_pending() const noexcept { return heap_.size(); }
+  [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
 
   /// Creates a process whose body starts executing (at the current virtual
   /// time) once run() reaches its start event. The reference stays valid for
@@ -186,6 +202,7 @@ class Engine {
 
   Options opts_;
   Rng rng_;
+  Stats stats_;
   SimTime now_ = 0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t events_processed_ = 0;

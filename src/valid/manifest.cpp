@@ -74,7 +74,7 @@ std::string manifest_json(const ManifestContext& ctx, const std::vector<RunRepor
                           const std::vector<CheckResult>& checks) {
   std::ostringstream os;
   os << "{\n";
-  os << "  \"schema\": \"cirrus-manifest/1\",\n";
+  os << "  \"schema\": \"cirrus-manifest/2\",\n";
   os << "  \"generator\": " << json_string(ctx.generator) << ",\n";
   os << "  \"suite\": " << json_string(ctx.suite) << ",\n";
   os << "  \"git_sha\": " << json_string(ctx.git_sha.empty() ? build_git_sha() : ctx.git_sha)
@@ -97,17 +97,16 @@ std::string manifest_json(const ManifestContext& ctx, const std::vector<RunRepor
     os << "  ],\n";
   }
 
-  double total_host_ms = 0;
+  // Deterministic per-target section: metrics and virtual-time-derived
+  // telemetry counters only. Wall-clock timings live in the separate "host"
+  // section below so golden fixtures can exclude everything non-reproducible.
   std::uint64_t total_events = 0;
   os << "  \"targets\": [\n";
   for (std::size_t i = 0; i < reports.size(); ++i) {
     const auto& r = reports[i];
-    total_host_ms += r.host_ms;
     total_events += r.events;
-    const double evps = r.host_ms > 0 ? static_cast<double>(r.events) / (r.host_ms / 1e3) : 0.0;
     os << "    {\"target\": " << json_string(r.target) << ", \"title\": " << json_string(r.title)
-       << ", \"host_ms\": " << json_number(r.host_ms) << ", \"events\": " << r.events
-       << ", \"events_per_sec\": " << json_number(evps) << ", \"metrics\": [\n";
+       << ", \"events\": " << r.events << ", \"metrics\": [\n";
     for (std::size_t j = 0; j < r.metrics.size(); ++j) {
       const auto& m = r.metrics[j];
       os << "      {\"name\": " << json_string(m.name)
@@ -115,11 +114,37 @@ std::string manifest_json(const ManifestContext& ctx, const std::vector<RunRepor
          << ", \"value\": " << json_number(m.value) << ", \"units\": " << json_string(m.units)
          << "}" << (j + 1 < r.metrics.size() ? "," : "") << "\n";
     }
-    os << "    ]}" << (i + 1 < reports.size() ? "," : "") << "\n";
+    os << "    ]";
+    if (!r.telemetry.empty()) {
+      os << ", \"telemetry\": [\n";
+      for (std::size_t j = 0; j < r.telemetry.size(); ++j) {
+        os << "      {\"name\": " << json_string(r.telemetry[j].first)
+           << ", \"value\": " << r.telemetry[j].second << "}"
+           << (j + 1 < r.telemetry.size() ? "," : "") << "\n";
+      }
+      os << "    ]";
+    }
+    os << "}" << (i + 1 < reports.size() ? "," : "") << "\n";
   }
   os << "  ],\n";
-  os << "  \"total_host_ms\": " << json_number(total_host_ms) << ",\n";
   os << "  \"total_events\": " << total_events << ",\n";
+
+  if (ctx.include_nondeterministic) {
+    double total_host_ms = 0;
+    os << "  \"host\": {\"comment\": \"wall-clock measurements; varies run to run\","
+       << " \"targets\": [\n";
+    for (std::size_t i = 0; i < reports.size(); ++i) {
+      const auto& r = reports[i];
+      total_host_ms += r.host_ms;
+      const double evps =
+          r.host_ms > 0 ? static_cast<double>(r.events) / (r.host_ms / 1e3) : 0.0;
+      os << "    {\"target\": " << json_string(r.target)
+         << ", \"host_ms\": " << json_number(r.host_ms)
+         << ", \"events_per_sec\": " << json_number(evps) << "}"
+         << (i + 1 < reports.size() ? "," : "") << "\n";
+    }
+    os << "  ], \"total_host_ms\": " << json_number(total_host_ms) << "},\n";
+  }
 
   int passed = 0, failed = 0, missing = 0;
   for (const auto& c : checks) {

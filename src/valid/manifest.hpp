@@ -27,6 +27,11 @@ struct ManifestContext {
   /// Include the study-platform spec table (off only for fixture tests that
   /// need a platform-independent golden).
   bool include_platforms = true;
+  /// Include the "host" section (wall-clock timings, events/sec). These are
+  /// the only non-deterministic fields in the manifest; everything else is a
+  /// pure function of the inputs. Golden fixtures turn this off so the
+  /// round-trip test is byte-stable across machines and runs.
+  bool include_nondeterministic = true;
 };
 
 /// The git SHA the binary was configured from: the CIRRUS_GIT_SHA environment

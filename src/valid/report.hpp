@@ -12,6 +12,7 @@
 #include <cstdint>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 namespace cirrus::valid {
@@ -34,6 +35,10 @@ struct RunReport {
   double host_ms = 0;          ///< host wall-clock spent producing it
   std::uint64_t events = 0;    ///< simulator events executed (0 = untracked)
   std::vector<Metric> metrics;
+  /// Top-N simulator self-profiling counters attributed to this target
+  /// (obs::GlobalCounters deltas). Deterministic: derived from virtual-time
+  /// execution only, so it lives in the manifest's deterministic section.
+  std::vector<std::pair<std::string, std::uint64_t>> telemetry;
 
   /// Appends a metric; returns *this for chaining.
   RunReport& add(std::string name, std::string platform, int ranks, double value,

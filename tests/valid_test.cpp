@@ -259,6 +259,7 @@ valid::ManifestContext golden_context() {
   ctx.seed = 1;
   ctx.jobs = 4;
   ctx.include_platforms = false;  // keep the golden platform-spec independent
+  ctx.include_nondeterministic = false;  // golden must be byte-stable across hosts
   return ctx;
 }
 
@@ -267,6 +268,7 @@ TEST(Manifest, GoldenRoundTrip) {
   reports[0].title = "OSU bandwidth";
   reports[0].host_ms = 125.5;
   reports[0].events = 42000;
+  reports[0].telemetry = {{"sim_events_total", 42000}, {"mpi_sends_eager", 512}};
   reports[1].title = "NPB speedup";
   reports[1].host_ms = 74.25;
   const auto ref = valid::ReferenceSet::parse_string(
@@ -283,6 +285,40 @@ TEST(Manifest, GoldenRoundTrip) {
   }
   EXPECT_EQ(json, valid::read_text_file(path))
       << "manifest schema changed; rerun with CIRRUS_UPDATE_GOLDEN=1 to regenerate";
+}
+
+TEST(Manifest, HostSectionIsGatedByNondeterministicFlag) {
+  auto reports = sample_reports();
+  reports[0].host_ms = 125.5;
+  reports[0].events = 42000;
+  auto ctx = golden_context();
+
+  // Golden mode: no wall-clock fields anywhere in the output.
+  std::string json = valid::manifest_json(ctx, reports, {});
+  EXPECT_EQ(json.find("\"host\""), std::string::npos);
+  EXPECT_EQ(json.find("host_ms"), std::string::npos);
+  EXPECT_EQ(json.find("events_per_sec"), std::string::npos);
+  // Deterministic event counts stay in the main section.
+  EXPECT_NE(json.find("\"total_events\": 42000"), std::string::npos);
+
+  ctx.include_nondeterministic = true;
+  json = valid::manifest_json(ctx, reports, {});
+  EXPECT_NE(json.find("\"host\""), std::string::npos);
+  EXPECT_NE(json.find("\"host_ms\": 125.5"), std::string::npos);
+  EXPECT_NE(json.find("\"total_host_ms\": 125.5"), std::string::npos);
+  EXPECT_NE(json.find("events_per_sec"), std::string::npos);
+}
+
+TEST(Manifest, TelemetryBlockIsDeterministicSection) {
+  auto reports = sample_reports();
+  reports[0].telemetry = {{"sim_events_total", 7}, {"net_bytes_internode", 4096}};
+  const std::string json = valid::manifest_json(golden_context(), reports, {});
+  EXPECT_NE(json.find("\"telemetry\": ["), std::string::npos);
+  EXPECT_NE(json.find("{\"name\": \"sim_events_total\", \"value\": 7}"), std::string::npos);
+  EXPECT_NE(json.find("{\"name\": \"net_bytes_internode\", \"value\": 4096}"),
+            std::string::npos);
+  // Reports without telemetry omit the block entirely.
+  EXPECT_EQ(json.find("\"telemetry\": []"), std::string::npos);
 }
 
 TEST(Manifest, EmbedsPerfJsonAndCountsChecks) {
