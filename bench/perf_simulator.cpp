@@ -7,12 +7,15 @@
 // pass an explicit --benchmark_out=... to override.
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "mpi/minimpi.hpp"
+#include "npb/npb.hpp"
 #include "sim/engine.hpp"
+#include "sim/event_queue.hpp"
 #include "sim/fiber.hpp"
 
 namespace {
@@ -52,12 +55,18 @@ struct Rearm {
   }
 };
 
-/// Steady-state throughput of std::function events at a given heap size.
+/// Steady-state throughput of std::function events at a given heap size,
+/// through either scheduler backend: range(0) = pending events, range(1) =
+/// 0 for the 4-ary heap, 1 for the calendar queue. The two pop identical
+/// orders (sim_event_queue_test proves it), so this is a pure speed race.
 void BM_EngineEventThroughput(benchmark::State& state) {
   const int pending = static_cast<int>(state.range(0));
   const long long budget = 16LL * pending;
+  sim::Engine::Options opts;
+  opts.scheduler = state.range(1) == 0 ? sim::SchedulerKind::Heap4 : sim::SchedulerKind::Calendar;
+  state.SetLabel(sim::to_string(opts.scheduler));
   for (auto _ : state) {
-    sim::Engine eng;
+    sim::Engine eng(opts);
     Rearm r{eng, budget, pending};
     for (int i = 0; i < pending; ++i) eng.schedule_at(i, [&r] { r.fire(); });
     eng.run();
@@ -65,7 +74,13 @@ void BM_EngineEventThroughput(benchmark::State& state) {
     state.SetItemsProcessed(state.items_processed() + pending + budget);
   }
 }
-BENCHMARK(BM_EngineEventThroughput)->Arg(512)->Arg(2048)->Arg(10000);
+BENCHMARK(BM_EngineEventThroughput)
+    ->Args({512, 0})
+    ->Args({2048, 0})
+    ->Args({10000, 0})
+    ->Args({512, 1})
+    ->Args({2048, 1})
+    ->Args({10000, 1});
 
 struct RawRearm {
   sim::Engine* eng;
@@ -82,11 +97,15 @@ void raw_fire(void* ctx) {
 
 /// Same wave shape through the raw fn-pointer event path — the path message
 /// deliveries ride — with zero allocation and no std::function dispatch.
+/// range(1) selects the scheduler backend as above.
 void BM_EngineRawEventThroughput(benchmark::State& state) {
   const int pending = static_cast<int>(state.range(0));
   const long long budget = 16LL * pending;
+  sim::Engine::Options opts;
+  opts.scheduler = state.range(1) == 0 ? sim::SchedulerKind::Heap4 : sim::SchedulerKind::Calendar;
+  state.SetLabel(sim::to_string(opts.scheduler));
   for (auto _ : state) {
-    sim::Engine eng;
+    sim::Engine eng(opts);
     RawRearm r{&eng, budget, pending};
     for (int i = 0; i < pending; ++i) {
       sim::EngineInternal::schedule_raw(eng, i, &raw_fire, &r);
@@ -96,7 +115,13 @@ void BM_EngineRawEventThroughput(benchmark::State& state) {
     state.SetItemsProcessed(state.items_processed() + pending + budget);
   }
 }
-BENCHMARK(BM_EngineRawEventThroughput)->Arg(512)->Arg(2048)->Arg(10000);
+BENCHMARK(BM_EngineRawEventThroughput)
+    ->Args({512, 0})
+    ->Args({2048, 0})
+    ->Args({10000, 0})
+    ->Args({512, 1})
+    ->Args({2048, 1})
+    ->Args({10000, 1});
 
 void BM_ProcessAdvance(benchmark::State& state) {
   for (auto _ : state) {
@@ -204,6 +229,58 @@ void BM_Allreduce64Ranks(benchmark::State& state) {
 }
 BENCHMARK(BM_Allreduce64Ranks);
 
+/// Multi-LP engine scaling on a fig4-style NPB class-B run: 4096 simulated
+/// ranks of EP (compute-dominated — long conservative windows, barrier cost
+/// amortised) at range(0) LPs. items/s = aggregate simulated events per
+/// wall-clock second, the headline number for the parallel core. On a
+/// single-CPU host the LP threads share one core, so expect parity at best;
+/// the speedup target applies to multi-core runners.
+void BM_NpbLpScalingEp4096(benchmark::State& state) {
+  const int lp = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    auto cfg = npb::make_job(npb::benchmark("EP"), npb::Class::B, plat::vayu(), 4096,
+                             /*execute=*/false, /*seed=*/1);
+    cfg.max_ranks_per_node = 8;
+    cfg.lp = lp;
+    const auto res = mpi::run_job(cfg, [](mpi::RankEnv& env) {
+      npb::benchmark("EP").fn(env, npb::Class::B);
+    });
+    state.SetItemsProcessed(state.items_processed() +
+                            static_cast<std::int64_t>(res.events_processed));
+  }
+}
+BENCHMARK(BM_NpbLpScalingEp4096)
+    ->Arg(1)
+    ->Arg(4)
+    ->Iterations(1)
+    ->UseRealTime()  // items/s must count the worker threads' wall time, not coordinator CPU
+    ->Unit(benchmark::kMillisecond);
+
+/// Same sweep on a communication-heavy kernel: CG class B at 64 ranks, where
+/// nearly every timestep defers transfers to the coordinator. This bounds
+/// the window-protocol overhead (the price of determinism) rather than the
+/// best case.
+void BM_NpbLpScalingCg64(benchmark::State& state) {
+  const int lp = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    auto cfg = npb::make_job(npb::benchmark("CG"), npb::Class::B, plat::vayu(), 64,
+                             /*execute=*/false, /*seed=*/1);
+    cfg.max_ranks_per_node = 8;
+    cfg.lp = lp;
+    const auto res = mpi::run_job(cfg, [](mpi::RankEnv& env) {
+      npb::benchmark("CG").fn(env, npb::Class::B);
+    });
+    state.SetItemsProcessed(state.items_processed() +
+                            static_cast<std::int64_t>(res.events_processed));
+  }
+}
+BENCHMARK(BM_NpbLpScalingCg64)
+    ->Arg(1)
+    ->Arg(4)
+    ->Iterations(1)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
 void BM_Allreduce256Ranks(benchmark::State& state) {
   for (auto _ : state) {
     mpi::JobConfig cfg;
@@ -222,6 +299,18 @@ BENCHMARK(BM_Allreduce256Ranks);
 }  // namespace
 
 int main(int argc, char** argv) {
+#ifdef NDEBUG
+  benchmark::AddCustomContext("debug_build", "false");
+#else
+  // Numbers from an assert-enabled build are not comparable with the
+  // Release trajectory; make that impossible to miss in both the terminal
+  // and the JSON artifact.
+  std::fprintf(stderr,
+               "*** WARNING: perf_simulator built without NDEBUG (asserts on). ***\n"
+               "*** These numbers are NOT comparable with Release results; rebuild ***\n"
+               "*** with the Release preset before updating BENCH_simulator.json.  ***\n");
+  benchmark::AddCustomContext("debug_build", "true");
+#endif
   std::vector<char*> args(argv, argv + argc);
   bool has_out = false;
   for (int i = 1; i < argc; ++i) {

@@ -28,7 +28,9 @@
 #include "bench/registry.hpp"
 #include "core/options.hpp"
 #include "core/table.hpp"
+#include "mpi/minimpi.hpp"
 #include "obs/telemetry.hpp"
+#include "sim/event_queue.hpp"
 #include "valid/compare.hpp"
 #include "valid/manifest.hpp"
 #include "valid/paths.hpp"
@@ -55,7 +57,8 @@ int usage(int rc) {
                "usage: cirrus_bench [--list] [--suite paper|ext|perf|all[,...]]\n"
                "                    [--targets a,b,c] [--check] [--ref FILE]\n"
                "                    [--manifest [FILE]] [--write-ref [FILE]]\n"
-               "                    [--perf-json FILE] [--jobs N] [--seed N] [--verbose]\n");
+               "                    [--perf-json FILE] [--jobs N] [--seed N]\n"
+               "                    [--lp N] [--sched heap4|calendar] [--verbose]\n");
   return rc;
 }
 
@@ -64,6 +67,15 @@ int usage(int rc) {
 int main(int argc, char** argv) try {
   const core::Options opts(argc, argv);
   if (opts.has("help")) return usage(0);
+
+  // Engine knobs, applied process-wide: every target's JobConfig leaves
+  // lp/scheduler at their defaults, so setting the defaults here reaches all
+  // of them. Results are byte-identical for any --lp (that is what --check
+  // verifies); --sched is a pure performance knob.
+  if (const int lp = opts.get_int("lp", 0); lp > 0) mpi::set_default_lp(lp);
+  if (const auto sched = opts.get("sched"); sched) {
+    sim::set_default_scheduler(sim::scheduler_from_string(*sched));
+  }
 
   if (opts.has("list")) {
     core::Table t({"target", "suite", "description"});

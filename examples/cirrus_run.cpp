@@ -37,6 +37,8 @@
 #include "core/options.hpp"
 #include "core/table.hpp"
 #include "fault/fault.hpp"
+#include "mpi/minimpi.hpp"
+#include "sim/event_queue.hpp"
 #include "obs/trace_export.hpp"
 #include "npb/npb.hpp"
 #include "osu/osu.hpp"
@@ -51,6 +53,8 @@ int usage(const char* prog) {
                "  npb:    --bench BT|EP|CG|FT|IS|LU|MG|SP --class T|S|W|A|B|C [--execute]\n"
                "  osu:    --test bw|lat\n"
                "  common: --rpn ranks-per-node --seed S --eager bytes --ipm\n"
+               "          --lp N (parallel engine LPs; default $CIRRUS_LP or 1)\n"
+               "          --sched heap4|calendar (event scheduler; default $CIRRUS_SCHED)\n"
                "  topo:   --topo crossbar|fattree|vswitch|pgroups --oversub K --leaf N\n"
                "          --placement contig|scatter|pgroup\n"
                "  faults: --mtbf seconds --ckpt seconds --requeue seconds\n"
@@ -77,6 +81,14 @@ mpi::JobConfig base_config(const core::Options& opts) {
   cfg.telemetry.sample_dt_s = opts.get_double("sample-dt", 0.0);
   cfg.telemetry.enabled = opts.has("metrics") || opts.has("metrics-csv") ||
                           cfg.telemetry.sample_dt_s > 0;
+  cfg.lp = opts.get_int("lp", 0);  // 0: use $CIRRUS_LP (or 1)
+  if (cfg.telemetry.enabled && (cfg.lp > 1 || mpi::default_lp() > 1)) {
+    std::fputs("note: telemetry enabled; running single-LP (--lp ignored)\n", stderr);
+  }
+  if (const auto sched = opts.get("sched"); sched) {
+    sim::set_default_scheduler(sim::scheduler_from_string(*sched));
+  }
+  cfg.scheduler = sim::default_scheduler();
   return cfg;
 }
 
@@ -188,6 +200,8 @@ int run_npb(const core::Options& opts) {
   job.topology = cfg.topology;
   job.placement = cfg.placement;
   job.telemetry = cfg.telemetry;
+  job.lp = cfg.lp;
+  job.scheduler = cfg.scheduler;
   const auto r = run_maybe_resilient(
       job,
       [&info, cls](mpi::RankEnv& env) {

@@ -36,6 +36,12 @@ namespace cirrus::mpi {
 inline constexpr int kAnySource = -2;
 inline constexpr int kAnyTag = -2;
 
+/// Process-wide default LP (logical process / worker thread) count for jobs
+/// whose JobConfig::lp is 0. Initialised once from the CIRRUS_LP environment
+/// variable (unset or unparsable: 1); overridable by drivers via --lp.
+int default_lp() noexcept;
+void set_default_lp(int lp) noexcept;
+
 /// Reduction operators for the typed collective wrappers.
 enum class Op { Sum, Max, Min, Prod };
 
@@ -382,6 +388,17 @@ struct JobConfig {
   /// How the job's logical nodes map onto fabric nodes (contiguous is the
   /// identity and therefore event-neutral).
   topo::Placement placement = topo::Placement::Contiguous;
+  /// Logical processes (worker threads) the simulation is partitioned over.
+  /// 0: use mpi::default_lp() (the CIRRUS_LP / --lp setting). 1: the classic
+  /// single-threaded engine, bit-identical to previous releases. >1: nodes
+  /// are sharded across that many engines run under the conservative-window
+  /// protocol (sim::LpGroup); results are byte-identical to lp=1 (see
+  /// DESIGN.md — "Multi-LP determinism"). Clamped to the job's node count;
+  /// forced to 1 when telemetry is enabled.
+  int lp = 0;
+  /// Pending-event structure for every engine of this job (heap4/calendar —
+  /// a pure performance knob; event order is identical either way).
+  sim::SchedulerKind scheduler = sim::default_scheduler();
   /// Below/equal: eager protocol; above: rendezvous.
   std::size_t eager_threshold_bytes = 16 * 1024;
   /// Collective algorithm selection (like an MPI tuning file).

@@ -1,6 +1,7 @@
 #include "sim/engine.hpp"
 
 #include <cassert>
+#include <climits>
 #include <sstream>
 #include <utility>
 
@@ -26,20 +27,9 @@ void Process::suspend() {
   state_ = State::Running;
 }
 
-Engine::Engine(const Options& opts) : opts_(opts), rng_(opts.seed) {}
+Engine::Engine(const Options& opts) : opts_(opts), rng_(opts.seed), queue_(opts.scheduler) {}
 
 Engine::~Engine() = default;
-
-// ---------------------------------------------------------------------------
-// Inline-keyed 4-ary min-heap + callback slab.
-//
-// Heap entries are 24 bytes and self-contained: the sift loops compare and
-// move only contiguous heap storage (no pointer chasing), and a 4-ary layout
-// halves the tree depth of a binary heap — measurably faster than
-// std::priority_queue<Event> for the simulator's push/pop-heavy pattern.
-// Wake/start events carry their Process* in the entry itself and are fully
-// allocation-free; only generic callbacks occupy a recycled slab slot.
-// ---------------------------------------------------------------------------
 
 std::uint32_t Engine::alloc_slot() {
   if (free_head_ != kNil) {
@@ -60,61 +50,35 @@ void Engine::free_slot(std::uint32_t idx) noexcept {
   free_head_ = idx;
 }
 
-void Engine::heap_push(HeapEntry entry) {
-  // Hole-based sift-up: shift parents down and place the entry once.
-  std::size_t pos = heap_.size();
-  heap_.push_back(entry);
-  if (heap_.size() > stats_.heap_hwm) stats_.heap_hwm = heap_.size();
-  HeapEntry* h = heap_.data();
-  while (pos > 0) {
-    const std::size_t parent = (pos - 1) >> 2;
-    if (!entry_before(entry, h[parent])) break;
-    h[pos] = h[parent];
-    pos = parent;
-  }
-  h[pos] = entry;
-}
-
-Engine::HeapEntry Engine::heap_pop() {
-  HeapEntry* h = heap_.data();
-  const HeapEntry top = h[0];
-  const HeapEntry last = heap_.back();
-  heap_.pop_back();
-  const std::size_t n = heap_.size();
-  if (n != 0) {
-    // Hole-based sift-down: promote the smallest child into the hole until
-    // `last` fits, then store it once.
-    std::size_t pos = 0;
-    for (;;) {
-      const std::size_t first_child = (pos << 2) + 1;
-      if (first_child >= n) break;
-      std::size_t best = first_child;
-      const std::size_t end = first_child + 4 < n ? first_child + 4 : n;
-      for (std::size_t c = first_child + 1; c < end; ++c) {
-        if (entry_before(h[c], h[best])) best = c;
-      }
-      if (!entry_before(h[best], last)) break;
-      h[pos] = h[best];
-      pos = best;
-    }
-    h[pos] = last;
-  }
-  return top;
+void Engine::push_entry(SimTime when, std::uintptr_t payload) {
+  // The sched stamp is the virtual time of the scheduling action: this
+  // engine's clock, or — when the multi-LP coordinator is servicing a call
+  // on another engine's behalf — the service's virtual time and ordinal.
+  // Local pushes record the dispatching event's own scheduling time (`pt`,
+  // one more genealogy level) and inherit its ordinal: service ordinals are
+  // monotone in the canonical order, so a chain of local events carries its
+  // last service touch forward and equal-(when, t, pt) events from
+  // different lineages still compare the way a one-engine run executed
+  // them. Single-LP runs never see a nonzero ordinal and their stamps are
+  // nondecreasing in push order, so the pop order reduces to (when, seq).
+  const SchedStamp sched =
+      stamp_armed_ ? stamp_override_ : SchedStamp{now_, current_sched_.t, current_sched_.sub};
+  queue_.push(when, sched, next_seq_++, payload);
+  if (queue_.size() > stats_.heap_hwm) stats_.heap_hwm = queue_.size();
 }
 
 void Engine::push_process_event(SimTime when, Process& p) {
-  heap_push(HeapEntry{when, next_seq_++, reinterpret_cast<std::uintptr_t>(&p)});
+  push_entry(when, reinterpret_cast<std::uintptr_t>(&p));
 }
 
 void Engine::drain_pending() noexcept {
-  for (const HeapEntry& entry : heap_) {
+  queue_.drain([this](const EventQueue::Entry& entry) {
     if (payload_tag(entry.payload) == 1u) {
       const std::uint32_t idx = fn_index(entry.payload);
       slot(idx).fn = nullptr;  // destroy captured state deterministically
       free_slot(idx);
     }
-  }
-  heap_.clear();
+  });
   for (const auto& p : processes_) p->wake_pending_ = false;
 }
 
@@ -137,7 +101,7 @@ void Engine::schedule_at(SimTime when, std::function<void()> fn) {
   if (when < now_) when = now_;
   const std::uint32_t idx = alloc_slot();
   slot(idx).fn = std::move(fn);
-  heap_push(HeapEntry{when, next_seq_++, (static_cast<std::uintptr_t>(idx) << 3) | 1u});
+  push_entry(when, (static_cast<std::uintptr_t>(idx) << 3) | 1u);
 }
 
 void Engine::schedule_raw(SimTime when, void (*fn)(void*), void* ctx) {
@@ -147,8 +111,7 @@ void Engine::schedule_raw(SimTime when, void (*fn)(void*), void* ctx) {
   for (std::size_t i = 0; i < raw_table_.size(); ++i) {
     if (raw_table_[i] == fn || raw_table_[i] == nullptr) {
       raw_table_[i] = fn;
-      heap_push(HeapEntry{when, next_seq_++,
-                          reinterpret_cast<std::uintptr_t>(ctx) | (i + 2)});
+      push_entry(when, reinterpret_cast<std::uintptr_t>(ctx) | (i + 2));
       return;
     }
   }
@@ -181,33 +144,38 @@ void Engine::enter(Process& p) {
   if (p.fiber_.finished()) p.state_ = Process::State::Finished;
 }
 
+void Engine::dispatch_one() {
+  const EventQueue::Entry entry = queue_.pop();
+  assert(entry.when >= now_);
+  now_ = entry.when;
+  current_sched_ = entry.sched;
+  ++events_processed_;
+  const unsigned tag = payload_tag(entry.payload);
+  if (tag == 0u) {
+    ++stats_.wake_events;
+    auto* target = reinterpret_cast<Process*>(entry.payload);
+    target->wake_pending_ = false;
+    enter(*target);
+  } else if (tag == 1u) {
+    ++stats_.callback_events;
+    // Slot addresses are stable and the slot is not freed until after the
+    // call, so the callback runs in place even if it schedules new events
+    // (which may grow the slab but cannot recycle this slot).
+    const std::uint32_t idx = fn_index(entry.payload);
+    FnSlot& s = slot(idx);
+    s.fn();
+    s.fn = nullptr;
+    free_slot(idx);
+  } else {
+    ++stats_.raw_events;
+    raw_table_[tag - 2u](reinterpret_cast<void*>(entry.payload & ~kTagMask));
+  }
+}
+
 void Engine::run() {
   try {
-    while (!heap_.empty()) {
-      const HeapEntry entry = heap_pop();
-      assert(entry.when >= now_);
-      now_ = entry.when;
-      ++events_processed_;
-      const unsigned tag = payload_tag(entry.payload);
-      if (tag == 0u) {
-        ++stats_.wake_events;
-        auto* target = reinterpret_cast<Process*>(entry.payload);
-        target->wake_pending_ = false;
-        enter(*target);
-      } else if (tag == 1u) {
-        ++stats_.callback_events;
-        // Slot addresses are stable and the slot is not freed until after the
-        // call, so the callback runs in place even if it schedules new events
-        // (which may grow the slab but cannot recycle this slot).
-        const std::uint32_t idx = fn_index(entry.payload);
-        FnSlot& s = slot(idx);
-        s.fn();
-        s.fn = nullptr;
-        free_slot(idx);
-      } else {
-        ++stats_.raw_events;
-        raw_table_[tag - 2u](reinterpret_cast<void*>(entry.payload & ~kTagMask));
-      }
+    while (!queue_.empty()) {
+      dispatch_one();
     }
   } catch (...) {
     // A process body threw. Leave the engine in a defined state: no stale
@@ -216,6 +184,25 @@ void Engine::run() {
     throw;
   }
   // The queue drained; every process must have run to completion.
+  throw_if_blocked();
+}
+
+Engine::WindowStatus Engine::run_window(SimTime horizon) {
+  try {
+    while (!queue_.empty()) {
+      const SimTime next = queue_.top_when();
+      if (stall_armed_ && next > stall_time_) return WindowStatus::Stalled;
+      if (next >= horizon) return WindowStatus::Horizon;
+      dispatch_one();
+    }
+  } catch (...) {
+    drain_pending();
+    throw;
+  }
+  return stall_armed_ ? WindowStatus::Stalled : WindowStatus::Drained;
+}
+
+void Engine::throw_if_blocked() {
   ++stats_.deadlock_scans;
   std::ostringstream blocked;
   int nblocked = 0;

@@ -1,0 +1,252 @@
+#include "sim/lp.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+
+namespace cirrus::sim {
+
+/// Worker-thread control block: a two-phase mutex/condvar barrier. A
+/// generation counter (`phase`) releases the workers into one parallel
+/// phase; `running` counts them back in. Condvars (not spinning) so the
+/// protocol stays civil on machines with fewer cores than LPs.
+struct LpGroup::Control {
+  std::mutex mu;
+  std::condition_variable cv_go;
+  std::condition_variable cv_done;
+  std::vector<std::thread> threads;
+  SimTime horizon = 0;
+  std::uint64_t phase = 0;
+  int running = 0;
+  bool shutdown = false;
+  std::vector<Engine::WindowStatus> status;
+  std::vector<std::exception_ptr> errors;
+};
+
+LpGroup::LpGroup(std::vector<Engine*> engines, Options opts)
+    : engines_(std::move(engines)), opts_(opts), ctl_(std::make_unique<Control>()) {
+  assert(!engines_.empty());
+  assert(opts_.lookahead > 0 && "conservative windows need a positive lookahead");
+  outbox_.resize(engines_.size());
+  fifo_.resize(engines_.size(), 0);
+  ctl_->status.resize(engines_.size(), Engine::WindowStatus::Drained);
+  ctl_->errors.resize(engines_.size());
+}
+
+LpGroup::~LpGroup() = default;
+
+void LpGroup::defer(int lp, const LpRequest& r, bool stall) {
+  LpRequest q = r;
+  q.lp = lp;
+  // Canonical key: the deferring event's sched stamp first — at equal
+  // timestamps, a one-engine run pops events in (sched, seq) order, so the
+  // stamp recovers the global interleave it priced these calls in. Then
+  // ascending LP (= ascending node/rank block), then the order this LP's
+  // engine actually executed the deferring calls in. Re-entrant defers (a
+  // continuation the service resumed deferring again) inherit the serviced
+  // request's stamp: the one-engine run priced them inline inside the same
+  // dispatching event.
+  q.sched = in_service_ ? service_sched_ : engines_[static_cast<std::size_t>(lp)]->current_sched();
+  q.order_rank = lp;
+  q.order_seq = fifo_[static_cast<std::size_t>(lp)]++;
+  if (stall) engines_[static_cast<std::size_t>(lp)]->arm_stall(q.t);
+  if (in_service_) {
+    // A continuation resumed by the service deferred again (it runs on the
+    // coordinator thread): merge it into the current sweep.
+    reentrant_.push_back(q);
+  } else {
+    outbox_[static_cast<std::size_t>(lp)].push_back(q);
+  }
+}
+
+void LpGroup::add_boundary(SimTime t, std::function<void()> fn) {
+  boundaries_.push_back(Boundary{t, boundary_order_++, std::move(fn)});
+  std::sort(boundaries_.begin(), boundaries_.end(), [](const Boundary& a, const Boundary& b) {
+    return a.t != b.t ? a.t < b.t : a.order < b.order;
+  });
+}
+
+void LpGroup::worker_main(int lp) {
+  Control& c = *ctl_;
+  Engine& e = *engines_[static_cast<std::size_t>(lp)];
+  std::uint64_t seen = 0;
+  std::unique_lock<std::mutex> lk(c.mu);
+  for (;;) {
+    c.cv_go.wait(lk, [&] { return c.shutdown || c.phase != seen; });
+    if (c.shutdown) return;
+    seen = c.phase;
+    const SimTime h = c.horizon;
+    lk.unlock();
+    Engine::WindowStatus st = Engine::WindowStatus::Drained;
+    try {
+      st = e.run_window(h);
+    } catch (...) {
+      c.errors[static_cast<std::size_t>(lp)] = std::current_exception();
+    }
+    lk.lock();
+    c.status[static_cast<std::size_t>(lp)] = st;
+    if (--c.running == 0) c.cv_done.notify_all();
+  }
+}
+
+void LpGroup::parallel_phase(SimTime h) {
+  Control& c = *ctl_;
+  {
+    std::lock_guard<std::mutex> lk(c.mu);
+    c.horizon = h;
+    c.running = lp_count();
+    ++c.phase;
+  }
+  c.cv_go.notify_all();
+  std::unique_lock<std::mutex> lk(c.mu);
+  c.cv_done.wait(lk, [&] { return c.running == 0; });
+}
+
+bool LpGroup::service_round(Service& service) {
+  for (auto& box : outbox_) {
+    pending_.insert(pending_.end(), box.begin(), box.end());
+    box.clear();
+  }
+  if (pending_.empty()) return false;
+  // (t, sched, lp, fifo) is unique — fifo is a per-LP monotone stamp — so
+  // the sort is a total order and needs no stability.
+  std::sort(pending_.begin(), pending_.end(), &request_before);
+
+  // Resume floors. Once a fiber of LP j resumes at time f, LP j's next
+  // parallel phase may defer fresh requests at any time >= f — and at time
+  // f itself with a sched stamp as high as f, which can canonically precede
+  // a pending request of *another* LP at (f, higher sched). Pricing a
+  // pending request such a defer would canonically precede inverts the
+  // shared-state order, so it ends the round instead; the suffix stays
+  // pending until the floors lift. Same-LP requests at exactly f stay safe:
+  // the per-LP fifo stamp orders them ahead of anything LP j defers later.
+  std::vector<SimTime> floor(engines_.size(), Engine::kNoEvent);
+  in_service_ = true;
+  std::size_t i = 0;
+  while (i < pending_.size()) {
+    LpRequest r = pending_[i];
+    bool safe = true;
+    for (std::size_t j = 0; j < floor.size(); ++j) {
+      if (floor[j] == Engine::kNoEvent) continue;
+      if (floor[j] < r.t || (floor[j] == r.t && static_cast<int>(j) != r.lp)) {
+        safe = false;
+        break;
+      }
+    }
+    if (!safe) break;
+    // Events the service (or the resumed continuation) schedules — on any
+    // engine — are scheduling actions at virtual time r.t; stamp them so,
+    // exactly as the one-engine run would have (it performed them inline at
+    // now() == r.t), refined by the global service ordinal so equal-time
+    // actions of successive requests keep their service order. A parked
+    // engine's own clock may still trail r.t.
+    // The one-engine run performed these actions inline inside the deferring
+    // event, so their parent scheduling time is that event's own `t`.
+    service_sched_ = r.sched;
+    const SchedStamp stamp{r.t, r.sched.t, ++service_sub_};
+    for (Engine* e : engines_) e->arm_sched_stamp(stamp);
+    service(r);
+    if (r.proc != nullptr) {
+      // The one-engine run executed this continuation inline, right after
+      // the pricing — resume it now, before any later-keyed request.
+      engines_[static_cast<std::size_t>(r.lp)]->resume_direct(*r.proc);
+      auto& f = floor[static_cast<std::size_t>(r.lp)];
+      if (f == Engine::kNoEvent) f = r.t;  // keys ascend, so first is min
+    }
+    ++i;
+    if (!reentrant_.empty()) {
+      // Re-entrant requests always carry the same timestamp as r and a
+      // higher per-LP stamp, so their canonical slots are at or after i.
+      for (const LpRequest& nr : reentrant_) {
+        assert(nr.t == r.t && "a resumed continuation cannot move virtual time");
+        pending_.insert(
+            std::lower_bound(pending_.begin() + static_cast<std::ptrdiff_t>(i), pending_.end(),
+                             nr, &request_before),
+            nr);
+      }
+      reentrant_.clear();
+    }
+  }
+  in_service_ = false;
+  for (Engine* e : engines_) e->clear_sched_stamp();
+  pending_.erase(pending_.begin(), pending_.begin() + static_cast<std::ptrdiff_t>(i));
+  // Stall latches: an LP whose deferred fibers were all resumed may advance;
+  // one with a suspended fiber still pending must stay parked at its time
+  // (results may land back at that very timestamp). Rendezvous-style
+  // requests (no fiber) never need a stall — their engine ran on past them.
+  for (Engine* e : engines_) e->clear_stall();
+  for (const LpRequest& r : pending_) {
+    if (r.proc != nullptr) engines_[static_cast<std::size_t>(r.lp)]->arm_stall(r.t);
+  }
+  return true;
+}
+
+SimTime LpGroup::min_next_event() const {
+  SimTime t = Engine::kNoEvent;
+  for (Engine* e : engines_) t = std::min(t, e->next_event_time());
+  return t;
+}
+
+void LpGroup::drain_all() noexcept {
+  for (Engine* e : engines_) {
+    e->clear_stall();
+    e->abort_pending();
+  }
+}
+
+void LpGroup::run(Service service) {
+  Control& c = *ctl_;
+  for (int lp = 0; lp < lp_count(); ++lp) {
+    c.threads.emplace_back([this, lp] { worker_main(lp); });
+  }
+  // Stop and join the workers on every exit path before anything unwinds.
+  struct Joiner {
+    Control& c;
+    ~Joiner() {
+      {
+        std::lock_guard<std::mutex> lk(c.mu);
+        c.shutdown = true;
+      }
+      c.cv_go.notify_all();
+      for (auto& t : c.threads) t.join();
+    }
+  } joiner{c};
+
+  std::size_t next_boundary = 0;
+  try {
+    for (;;) {
+      const SimTime t_next = min_next_event();
+      const Boundary* b =
+          next_boundary < boundaries_.size() ? &boundaries_[next_boundary] : nullptr;
+      if (t_next == Engine::kNoEvent && b == nullptr) break;
+      if (b != nullptr && b->t <= t_next) {
+        // Every LP has drained below the boundary; run the global action.
+        b->fn();
+        ++next_boundary;
+        continue;
+      }
+      SimTime horizon = t_next > Engine::kNoEvent - opts_.lookahead ? Engine::kNoEvent
+                                                                    : t_next + opts_.lookahead;
+      if (b != nullptr && b->t < horizon) horizon = b->t;
+      // Sub-rounds: run, service what deferred, repeat until the window is
+      // quiet. Each round services at least one request, so this terminates.
+      for (;;) {
+        parallel_phase(horizon);
+        for (std::size_t lp = 0; lp < engines_.size(); ++lp) {
+          if (c.errors[lp]) std::rethrow_exception(c.errors[lp]);
+        }
+        if (!service_round(service)) break;
+      }
+    }
+  } catch (...) {
+    drain_all();
+    throw;
+  }
+  // Global end-of-run scan: the whole group drained, so every process on
+  // every LP must have finished.
+  for (Engine* e : engines_) e->throw_if_blocked();
+}
+
+}  // namespace cirrus::sim

@@ -1,0 +1,204 @@
+// Conservative multi-LP execution: several engines, one per worker thread,
+// synchronised by adaptive barrier windows.
+//
+// The simulation's nodes are partitioned across K logical processes (LPs).
+// Each LP owns one sim::Engine — its own event queue, clock and fibers — and
+// executes purely node-local work (compute advances, intra-node messaging)
+// with no synchronisation at all. What prevents a free-running split is the
+// globally *ordered* shared state of the cost model: NIC ports, fabric links,
+// the filesystem queue and, above all, the single jitter RNG stream, all of
+// which must be consumed in exactly the order a one-engine run would consume
+// them or results stop being bit-identical.
+//
+// The protocol (one "window" per iteration):
+//
+//   1. HORIZON. The coordinator computes T_next = min over LPs of the next
+//      pending event time and sets the horizon H = T_next + L, where L is
+//      the lookahead — a lower bound on the one-way internode delay
+//      (net::Network::min_internode_lookahead, refined by the fabric's hop
+//      latencies, which only add). Any internode interaction initiated at
+//      s >= T_next lands at >= s + L >= H, so events before H are safe to
+//      run. Deriving H from T_next (instead of stepping fixed multiples of
+//      L) lets a window leap over the long silent stretches of compute-bound
+//      phases in one step.
+//   2. PARALLEL PHASE. Every LP runs its local events with timestamp < H
+//      concurrently. When an executing fiber needs an operation on the
+//      ordered shared state, it *defers*: it files an LpRequest keyed by
+//      (time, sched stamp of the deferring event, LP, per-LP call sequence)
+//      and suspends; its engine raises a stall latch so the LP finishes the
+//      current timestamp but goes no further (the result may be needed at
+//      that very time).
+//   3. SERVICE ROUND. At the barrier the coordinator services deferred
+//      requests in canonical key order — pricing each against the shared
+//      model exactly as the one-engine run would have, in the same relative
+//      order — and resumes the requesting fibers directly (a fiber-level
+//      resume, no event: the one-engine run executed that continuation
+//      inline inside the original event). A resumed continuation may defer
+//      again at the same timestamp; the new request is merged into the
+//      sweep at its canonical position. Crucially, each round only services
+//      the *safe prefix* of the pending set: once a fiber of LP j has been
+//      resumed at time f, LP j's next parallel phase may defer fresh
+//      requests anywhere at or beyond f — so any pending request that such
+//      a future defer could precede in canonical order stays pending, and
+//      the round ends. Without this, a request priced early at t=50 could
+//      be overtaken by one filed later at t=20, consuming the shared RNG
+//      and port FIFOs in an order the one-engine run never produces.
+//      Steps 2-3 repeat until no request is pending, then the window
+//      advances.
+//
+// Cross-LP event delivery is batched: fibers and the service schedule
+// arrival events straight onto the destination engine — legal only because
+// every LP is parked at the barrier whenever foreign code runs, so the
+// engines need no locks at all. During a service round every engine's sched
+// stamp is overridden to the service's virtual time, so a delivery lands in
+// the destination queue with the same (when, sched) key the one-engine run
+// gave it — equal-timestamp races (a message arriving exactly when the
+// receiver posts) resolve identically in both modes. Boundary actions (fault kills, spot-reclaim
+// warnings — config-known global mutations) register at fixed times; the
+// horizon never crosses one, and the action runs on the coordinator once
+// every LP has drained up to it.
+//
+// Determinism: single-LP runs never construct this class and are
+// bit-identical to previous releases by construction. Multi-LP runs are
+// byte-identical to single-LP for every published observable as long as
+// same-timestamp interactions of *different* ranks commute (see
+// DESIGN.md — "Multi-LP determinism"); the sim_lp_test and the paper-suite
+// manifest check enforce it empirically.
+#pragma once
+
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "sim/time.hpp"
+
+namespace cirrus::sim {
+
+/// One deferred shared-state operation. Ordered by (t, sched, order_rank,
+/// order_seq) — the canonical global pricing order. All key fields beyond t
+/// are stamped by LpGroup::defer: `sched` is the scheduling-time stamp of
+/// the event whose execution deferred the call (Engine::current_sched — in
+/// a one-engine run, equal-time events pop in exactly (sched, seq) order,
+/// so sched recovers the global interleave the one-engine run would have
+/// priced these calls in); order_rank is the filing LP's index and
+/// order_seq a per-LP monotone counter, resolving the residual ties in each
+/// LP's own execution order, and across LPs in ascending LP (= node block,
+/// = rank block) order.
+struct LpRequest {
+  SimTime t = 0;                ///< virtual time of the call
+  SchedStamp sched{};           ///< sched stamp of the deferring event (by defer)
+  int order_rank = 0;           ///< filing LP index (stamped by defer)
+  std::uint64_t order_seq = 0;  ///< per-LP defer counter (stamped by defer)
+  int lp = 0;                   ///< LP that filed the request (filled by defer)
+  Process* proc = nullptr;      ///< fiber to resume after servicing (may be null)
+  void* ctx = nullptr;          ///< service-defined payload
+};
+
+/// Coordinates K engines through the window protocol. Not reusable: one
+/// group per run. All methods other than defer() are coordinator-side.
+class LpGroup {
+ public:
+  struct Options {
+    SimTime lookahead = 1;  ///< L, in ns; must be > 0 for the protocol to advance
+  };
+
+  /// Services one request in canonical order: price against shared state,
+  /// store results into r.ctx, optionally schedule events on any engine
+  /// (all LPs are parked). LpGroup resumes r.proc afterwards if non-null.
+  using Service = std::function<void(LpRequest&)>;
+
+  /// The engines must outlive the group. Engine i is LP i.
+  LpGroup(std::vector<Engine*> engines, Options opts);
+  ~LpGroup();
+
+  LpGroup(const LpGroup&) = delete;
+  LpGroup& operator=(const LpGroup&) = delete;
+
+  [[nodiscard]] int lp_count() const noexcept { return static_cast<int>(engines_.size()); }
+  [[nodiscard]] Engine& engine(int lp) noexcept { return *engines_[static_cast<std::size_t>(lp)]; }
+  [[nodiscard]] SimTime lookahead() const noexcept { return opts_.lookahead; }
+
+  /// Files a deferred request from LP `lp` (called on that LP's thread from
+  /// inside an executing event/fiber, or re-entrantly from a continuation
+  /// resumed by the service). When `stall` is true the LP's engine stalls at
+  /// r.t — required whenever the serviced result may land back at r.t itself
+  /// (an eager send's sender-free time, a filesystem completion). Pass false
+  /// when every consequence provably lands at or beyond the window horizon
+  /// (rendezvous transfers: their completions trail by a control delay,
+  /// which is >= L).
+  void defer(int lp, const LpRequest& r, bool stall);
+
+  /// Registers a global action at fixed virtual time `t` (config-known:
+  /// fault kill, reclaim warning). Runs on the coordinator once every LP has
+  /// drained all events with timestamp < t; no LP executes an event with
+  /// timestamp >= t first. Actions at equal times run in registration order.
+  /// Call before run().
+  void add_boundary(SimTime t, std::function<void()> fn);
+
+  /// Executes the protocol to completion. Rethrows the first exception (by
+  /// LP index, then the coordinator's own) after draining every engine;
+  /// throws DeadlockError via the engines' scans when the group drains with
+  /// blocked processes remaining.
+  void run(Service service);
+
+ private:
+  struct Boundary {
+    SimTime t;
+    std::uint64_t order;
+    std::function<void()> fn;
+  };
+
+  void worker_main(int lp);
+  /// Parks until all LPs finish one parallel phase with horizon `h`.
+  void parallel_phase(SimTime h);
+  /// Gathers per-LP outboxes into the persistent pending set, services its
+  /// safe prefix in canonical order (merging re-entrant requests), re-arms
+  /// stalls for requests left pending. Returns false iff nothing is pending
+  /// (the window may then advance).
+  bool service_round(Service& service);
+  [[nodiscard]] SimTime min_next_event() const;
+  void drain_all() noexcept;
+
+  static bool request_before(const LpRequest& a, const LpRequest& b) noexcept {
+    if (a.t != b.t) return a.t < b.t;
+    if (!(a.sched == b.sched)) return a.sched < b.sched;
+    if (a.order_rank != b.order_rank) return a.order_rank < b.order_rank;
+    return a.order_seq < b.order_seq;
+  }
+
+  std::vector<Engine*> engines_;
+  Options opts_;
+  std::vector<Boundary> boundaries_;
+  std::uint64_t boundary_order_ = 0;
+
+  // Per-LP request outboxes: written only by the owning LP thread during a
+  // parallel phase, read by the coordinator between phases (the barrier
+  // provides the happens-before edges both ways).
+  std::vector<std::vector<LpRequest>> outbox_;
+  // Re-entrant requests filed by continuations the service resumed (these
+  // run on the coordinator thread, so they bypass the outboxes). They
+  // inherit the sched stamp of the request being serviced (service_sched_):
+  // the one-engine run priced them inline inside the same dispatching event.
+  std::vector<LpRequest> reentrant_;
+  bool in_service_ = false;
+  SchedStamp service_sched_{};
+  // Global service ordinal: one tick per serviced request, never reset.
+  // Events a service schedules carry {t, ordinal} as their sched stamp, so
+  // two equal-time deliveries from different rounds stay in service order —
+  // the order the one-engine run scheduled their inline equivalents in.
+  std::uint64_t service_sub_ = 0;
+  // Requests not yet serviced: the unsafe suffix of previous rounds plus
+  // whatever the outboxes delivered. Kept sorted by service_round.
+  std::vector<LpRequest> pending_;
+  // Per-LP defer stamp; gives equal-time requests of one LP their engine
+  // execution order (which mirrors the one-engine run's relative order).
+  std::vector<std::uint64_t> fifo_;
+
+  // Worker control (mutex + condvar two-phase barrier).
+  struct Control;
+  std::unique_ptr<Control> ctl_;
+};
+
+}  // namespace cirrus::sim
