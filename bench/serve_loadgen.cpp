@@ -1,0 +1,278 @@
+// serve_loadgen — load generator for cirrus_serve: thousands of mixed
+// hot/cold what-if queries against the HTTP front end, measuring throughput
+// and latency percentiles into BENCH_serve.json.
+//
+//   serve_loadgen [--clients N] [--requests N] [--hot-pct P] [--port N]
+//                 [--out FILE]
+//
+// By default an in-process server on an ephemeral port is the target (the
+// realistic loopback path: real sockets, real threads, real cache); --port
+// aims the same traffic at an external cirrus_serve instead.
+//
+// Traffic model: each client owns one keep-alive connection and draws from
+// a deterministic per-client stream — `hot-pct` of requests pick one of a
+// small pre-warmed hot set (cache hits, the steady-state shape of a what-if
+// dashboard), the rest walk a larger cold pool whose first touches are
+// misses that must run the simulator. p50/p90/p99 are reported overall and
+// split by cache disposition, because the two populations differ by orders
+// of magnitude — a single histogram would hide the miss tail.
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/options.hpp"
+#include "core/request.hpp"
+#include "obs/json_writer.hpp"
+#include "serve/client.hpp"
+#include "serve/http.hpp"
+#include "serve/service.hpp"
+
+namespace {
+
+using namespace cirrus;
+
+int usage(const char* prog) {
+  std::fprintf(stderr,
+               "usage: %s [--clients N (default 1000)] [--requests per-client (default 4)]\n"
+               "          [--hot-pct 0..100 (default 90)] [--port N (external server)]\n"
+               "          [--out FILE (default BENCH_serve.json)]\n",
+               prog);
+  return 2;
+}
+
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// The query targets. Hot set: a handful of configurations pre-warmed before
+/// the measured run. Cold pool: distinct seeds over cheap class-S runs, so a
+/// first touch costs a real (but small) simulation.
+std::string hot_target(std::uint64_t i) {
+  static const char* const kHot[] = {
+      "/query?workload=npb&bench=CG&class=S&np=8",
+      "/query?workload=npb&bench=EP&class=S&np=8&platform=ec2",
+      "/query?workload=npb&bench=MG&class=S&np=4&topo=fattree",
+      "/query?workload=osu&bench=bw&platform=vayu",
+      "/query?workload=osu&bench=lat&platform=dcc",
+      "/query?workload=metum&np=8&platform=vayu",
+      "/query?workload=chaste&np=4&platform=dcc",
+      "/query?workload=npb&bench=CG&class=S&np=8&mtbf=4000&ckpt=600",
+  };
+  return kHot[i % (sizeof(kHot) / sizeof(kHot[0]))];
+}
+
+std::string cold_target(std::uint64_t i) {
+  return "/query?workload=npb&bench=EP&class=S&np=4&seed=" + std::to_string(1000 + i % 64);
+}
+
+struct ClientStats {
+  std::vector<double> lat_all_us, lat_hit_us, lat_miss_us;
+  std::uint64_t ok = 0, rejected = 0, errors = 0;
+};
+
+double percentile(std::vector<double>& v, double p) {
+  if (v.empty()) return 0;
+  std::sort(v.begin(), v.end());
+  const auto idx = static_cast<std::size_t>(p * double(v.size() - 1));
+  return v[idx];
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const core::Options opts(argc, argv);
+  if (const auto bad = core::unknown_keys(
+          opts, {"clients", "requests", "hot-pct", "port", "out", "help"});
+      !bad.empty()) {
+    std::fprintf(stderr, "error: unknown option --%s\n", bad.front().c_str());
+    return usage(argv[0]);
+  }
+  if (opts.has("help")) {
+    usage(argv[0]);
+    return 0;
+  }
+  const int clients = opts.get_int("clients", 1000);
+  const int per_client = opts.get_int("requests", 4);
+  const int hot_pct = opts.get_int("hot-pct", 90);
+  const std::string out_path = opts.get_or("out", "BENCH_serve.json");
+  if (clients < 1 || per_client < 1 || hot_pct < 0 || hot_pct > 100) return usage(argv[0]);
+
+  // Target: external --port, or an in-process service on an ephemeral port.
+  std::unique_ptr<serve::Service> service;
+  std::unique_ptr<serve::HttpServer> server;
+  int port = opts.get_int("port", 0);
+  if (port == 0) {
+    serve::Service::Options sopts;
+    sopts.cache.capacity = 4096;
+    sopts.queue_timeout_ms = 60000;  // 1-CPU CI boxes serialise misses; don't 503 them
+    service = std::make_unique<serve::Service>(sopts);
+    serve::HttpServer::Options hopts;
+    server = std::make_unique<serve::HttpServer>(
+        hopts, [&](const serve::HttpRequest& req) { return service->handle(req); });
+    std::string error;
+    if (!server->start(&error)) {
+      std::fprintf(stderr, "error: %s\n", error.c_str());
+      return 1;
+    }
+    port = server->port();
+  }
+
+  // Pre-warm the hot set so the measured run sees it as pure hits.
+  {
+    serve::HttpClient warm;
+    if (!warm.connect(port)) {
+      std::fprintf(stderr, "error: cannot connect to port %d\n", port);
+      return 1;
+    }
+    for (std::uint64_t i = 0; i < 8; ++i) {
+      const auto resp = warm.request("GET", hot_target(i));
+      if (!resp || resp->status != 200) {
+        std::fprintf(stderr, "error: warm-up query %llu failed\n",
+                     static_cast<unsigned long long>(i));
+        return 1;
+      }
+    }
+  }
+
+  std::printf("loadgen: %d clients x %d requests (%d%% hot) against port %d\n", clients,
+              per_client, hot_pct, port);
+  std::fflush(stdout);
+
+  std::vector<ClientStats> stats(static_cast<std::size_t>(clients));
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(clients));
+  std::atomic<int> connect_failures{0};
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      auto& s = stats[static_cast<std::size_t>(c)];
+      serve::HttpClient client;
+      if (!client.connect(port)) {
+        connect_failures.fetch_add(1);
+        return;
+      }
+      std::uint64_t rng = mix64(static_cast<std::uint64_t>(c) + 1);
+      for (int i = 0; i < per_client; ++i) {
+        rng = mix64(rng);
+        const bool hot = static_cast<int>(rng % 100) < hot_pct;
+        const std::string target = hot ? hot_target(rng >> 8)
+                                       : cold_target(static_cast<std::uint64_t>(c) *
+                                                         static_cast<std::uint64_t>(per_client) +
+                                                     static_cast<std::uint64_t>(i));
+        const auto start = std::chrono::steady_clock::now();
+        const auto resp = client.request("GET", target);
+        const double us =
+            std::chrono::duration_cast<std::chrono::duration<double, std::micro>>(
+                std::chrono::steady_clock::now() - start)
+                .count();
+        if (!resp) {
+          ++s.errors;
+          continue;
+        }
+        if (resp->status == 503) {
+          ++s.rejected;
+          continue;
+        }
+        if (resp->status != 200) {
+          ++s.errors;
+          continue;
+        }
+        ++s.ok;
+        s.lat_all_us.push_back(us);
+        const auto it = resp->headers.find("x-cirrus-cache");
+        if (it != resp->headers.end() && it->second == "hit") {
+          s.lat_hit_us.push_back(us);
+        } else {
+          s.lat_miss_us.push_back(us);
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  const double wall_s = std::chrono::duration_cast<std::chrono::duration<double>>(
+                            std::chrono::steady_clock::now() - t0)
+                            .count();
+
+  ClientStats total;
+  for (auto& s : stats) {
+    total.ok += s.ok;
+    total.rejected += s.rejected;
+    total.errors += s.errors;
+    total.lat_all_us.insert(total.lat_all_us.end(), s.lat_all_us.begin(), s.lat_all_us.end());
+    total.lat_hit_us.insert(total.lat_hit_us.end(), s.lat_hit_us.begin(), s.lat_hit_us.end());
+    total.lat_miss_us.insert(total.lat_miss_us.end(), s.lat_miss_us.begin(),
+                             s.lat_miss_us.end());
+  }
+  const double rps = wall_s > 0 ? double(total.ok) / wall_s : 0;
+
+  obs::jsonw::Writer w;
+  w.begin_object();
+  w.key("schema").value("cirrus-serve-load/1");
+  w.key("config").begin_object();
+  w.key("clients").value(clients);
+  w.key("requests_per_client").value(per_client);
+  w.key("hot_pct").value(hot_pct);
+  w.key("in_process_server").value(server != nullptr);
+  w.end_object();
+  w.key("results").begin_object();
+  w.key("requests_ok").value(static_cast<unsigned long long>(total.ok));
+  w.key("requests_rejected").value(static_cast<unsigned long long>(total.rejected));
+  w.key("requests_failed").value(static_cast<unsigned long long>(total.errors));
+  w.key("connect_failures").value(connect_failures.load());
+  w.key("cache_hits").value(static_cast<unsigned long long>(total.lat_hit_us.size()));
+  w.key("cache_misses").value(static_cast<unsigned long long>(total.lat_miss_us.size()));
+  w.key("wall_s").value(wall_s);
+  w.key("throughput_rps").value(rps);
+  const auto lat_block = [&w](const char* name, std::vector<double>& v) {
+    w.key(name).begin_object();
+    w.key("count").value(static_cast<unsigned long long>(v.size()));
+    w.key("p50_us").value(percentile(v, 0.50));
+    w.key("p90_us").value(percentile(v, 0.90));
+    w.key("p99_us").value(percentile(v, 0.99));
+    w.key("max_us").value(v.empty() ? 0 : v.back());  // sorted by percentile()
+    w.end_object();
+  };
+  lat_block("latency", total.lat_all_us);
+  lat_block("latency_hit", total.lat_hit_us);
+  lat_block("latency_miss", total.lat_miss_us);
+  w.end_object();
+  if (service != nullptr) {
+    const auto cs = service->cache().stats();
+    w.key("server_cache").begin_object();
+    w.key("hits").value(static_cast<unsigned long long>(cs.hits));
+    w.key("misses").value(static_cast<unsigned long long>(cs.misses));
+    w.key("evictions").value(static_cast<unsigned long long>(cs.evictions));
+    w.key("entries").value(static_cast<unsigned long long>(cs.entries));
+    w.end_object();
+  }
+  w.end_object();
+
+  {
+    std::ofstream out(out_path);
+    out << w.str() << "\n";
+  }
+  std::printf(
+      "%llu ok (%llu hit / %llu miss), %llu rejected, %llu failed in %.2f s — %.0f req/s\n",
+      static_cast<unsigned long long>(total.ok),
+      static_cast<unsigned long long>(total.lat_hit_us.size()),
+      static_cast<unsigned long long>(total.lat_miss_us.size()),
+      static_cast<unsigned long long>(total.rejected),
+      static_cast<unsigned long long>(total.errors), wall_s, rps);
+  std::printf("p50 %.0f us, p90 %.0f us, p99 %.0f us; wrote %s\n",
+              percentile(total.lat_all_us, 0.50), percentile(total.lat_all_us, 0.90),
+              percentile(total.lat_all_us, 0.99), out_path.c_str());
+
+  if (server) server->stop();
+  const bool sustained = total.ok > 0 && total.errors == 0 && connect_failures.load() == 0;
+  return sustained ? 0 : 1;
+}

@@ -67,6 +67,13 @@ int usage(int rc) {
 int main(int argc, char** argv) try {
   const core::Options opts(argc, argv);
   if (opts.has("help")) return usage(0);
+  if (const auto bad = core::unknown_keys(
+          opts, {"help", "list", "suite", "targets", "check", "ref", "manifest",
+                 "write-ref", "perf-json", "jobs", "seed", "lp", "sched", "verbose"});
+      !bad.empty()) {
+    std::fprintf(stderr, "cirrus_bench: unknown option --%s\n", bad.front().c_str());
+    return usage(2);
+  }
 
   // Engine knobs, applied process-wide: every target's JobConfig leaves
   // lp/scheduler at their defaults, so setting the defaults here reaches all

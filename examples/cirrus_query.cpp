@@ -1,0 +1,84 @@
+// cirrus_query — tiny client for a running cirrus_serve.
+//
+//   cirrus_query --port N [--host 127.0.0.1] [--path /query] [k=v ...]
+//
+// Positional `k=v` pairs become the query string; the response body is
+// printed to stdout. Exit status: 0 for HTTP 2xx, 1 otherwise. The cache
+// disposition (hit/miss) arrives in the X-Cirrus-Cache header and is echoed
+// to stderr so stdout stays pure JSON:
+//
+//   cirrus_query --port 8080 workload=npb bench=CG class=A np=16
+//   cirrus_query --port 8080 --path /advise bench=CG np=16 queue_wait_hours=4
+//   cirrus_query --port 8080 --path /metrics
+#include <cctype>
+#include <cstdio>
+#include <string>
+
+#include "core/options.hpp"
+#include "serve/client.hpp"
+
+namespace {
+
+int usage(const char* prog) {
+  std::fprintf(stderr,
+               "usage: %s --port N [--host ipv4] [--path /query|/advise|/metrics|...]\n"
+               "          [key=value ...]\n",
+               prog);
+  return 2;
+}
+
+/// Percent-encodes the characters that matter inside a query value.
+std::string url_encode(const std::string& s) {
+  std::string out;
+  for (const unsigned char c : s) {
+    const bool safe = (std::isalnum(c) != 0) || c == '-' || c == '_' || c == '.' ||
+                      c == '~' || c == '=';
+    if (safe) {
+      out += static_cast<char>(c);
+    } else {
+      char buf[4];
+      std::snprintf(buf, sizeof buf, "%%%02X", c);
+      out += buf;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace cirrus;
+  const core::Options opts(argc, argv);
+  if (const auto bad = core::unknown_keys(opts, {"port", "host", "path", "help"});
+      !bad.empty()) {
+    std::fprintf(stderr, "error: unknown option --%s\n", bad.front().c_str());
+    return usage(argv[0]);
+  }
+  if (opts.has("help") || !opts.has("port")) return usage(argv[0]);
+
+  std::string target = opts.get_or("path", "/query");
+  std::string qs;
+  for (const auto& kv : opts.positional()) {
+    qs += qs.empty() ? "" : "&";
+    qs += url_encode(kv);
+  }
+  if (!qs.empty()) target += "?" + qs;
+
+  serve::HttpClient client;
+  std::string error;
+  if (!client.connect(opts.get_int("port", 0), opts.get_or("host", "127.0.0.1"), &error)) {
+    std::fprintf(stderr, "error: %s\n", error.c_str());
+    return 1;
+  }
+  const auto resp = client.request("GET", target);
+  if (!resp) {
+    std::fprintf(stderr, "error: transport failure talking to the server\n");
+    return 1;
+  }
+  if (const auto it = resp->headers.find("x-cirrus-cache"); it != resp->headers.end()) {
+    std::fprintf(stderr, "cache: %s\n", it->second.c_str());
+  }
+  std::fwrite(resp->body.data(), 1, resp->body.size(), stdout);
+  if (!resp->body.empty() && resp->body.back() != '\n') std::fputc('\n', stdout);
+  return resp->status >= 200 && resp->status < 300 ? 0 : 1;
+}

@@ -26,22 +26,23 @@
 //                 --requeue SECONDS (restart delay after a crash)
 //                 With --trace, the merged multi-attempt timeline — including
 //                 each killed attempt's partial spans — goes to one file.
-#include <algorithm>
+//
+// The configuration is carried by core::RunRequest and executed through
+// serve::execute() — the exact plumbing cirrus_serve uses to answer /query
+// requests — so a CLI run and a served query of the same knobs are
+// byte-identical. This driver only parses flags and prints.
 #include <cstdio>
 #include <fstream>
-#include <functional>
 #include <string>
 
-#include "apps/chaste/chaste.hpp"
-#include "apps/metum/metum.hpp"
 #include "core/options.hpp"
+#include "core/request.hpp"
 #include "core/table.hpp"
-#include "fault/fault.hpp"
 #include "mpi/minimpi.hpp"
-#include "sim/event_queue.hpp"
 #include "obs/trace_export.hpp"
-#include "npb/npb.hpp"
 #include "osu/osu.hpp"
+#include "serve/service.hpp"
+#include "sim/event_queue.hpp"
 
 namespace {
 
@@ -57,39 +58,25 @@ int usage(const char* prog) {
                "          --sched heap4|calendar (event scheduler; default $CIRRUS_SCHED)\n"
                "  topo:   --topo crossbar|fattree|vswitch|pgroups --oversub K --leaf N\n"
                "          --placement contig|scatter|pgroup\n"
-               "  faults: --mtbf seconds --ckpt seconds --requeue seconds\n"
+               "  faults: --mtbf seconds --ckpt seconds --requeue seconds --horizon seconds\n"
                "  obs:    --metrics [file] --sample-dt seconds --metrics-csv file\n"
                "          --trace file\n",
                prog);
   return 2;
 }
 
-mpi::JobConfig base_config(const core::Options& opts) {
-  mpi::JobConfig cfg;
-  cfg.platform = plat::by_name(opts.get_or("platform", "vayu"));
-  cfg.np = opts.get_int("np", 8);
-  cfg.max_ranks_per_node = opts.get_int("rpn", -1);
-  cfg.seed = static_cast<std::uint64_t>(opts.get_int("seed", 1));
-  cfg.execute = opts.has("execute");
-  cfg.eager_threshold_bytes =
-      static_cast<std::size_t>(opts.get_int("eager", 16 * 1024));
-  cfg.enable_trace = opts.has("trace");
-  cfg.topology.kind = topo::kind_from_string(opts.get_or("topo", "crossbar"));
-  cfg.topology.oversubscription = opts.get_double("oversub", 1.0);
-  cfg.topology.leaf_radix = opts.get_int("leaf", 4);
-  cfg.placement = topo::placement_from_string(opts.get_or("placement", "contig"));
-  cfg.telemetry.sample_dt_s = opts.get_double("sample-dt", 0.0);
-  cfg.telemetry.enabled = opts.has("metrics") || opts.has("metrics-csv") ||
-                          cfg.telemetry.sample_dt_s > 0;
-  cfg.lp = opts.get_int("lp", 0);  // 0: use $CIRRUS_LP (or 1)
-  if (cfg.telemetry.enabled && (cfg.lp > 1 || mpi::default_lp() > 1)) {
+/// Front-end toggles (everything outside the RunRequest / cache key).
+serve::ExecOptions exec_options(const core::Options& opts) {
+  serve::ExecOptions exec;
+  exec.enable_trace = opts.has("trace");
+  exec.telemetry.sample_dt_s = opts.get_double("sample-dt", 0.0);
+  exec.telemetry.enabled = opts.has("metrics") || opts.has("metrics-csv") ||
+                           exec.telemetry.sample_dt_s > 0;
+  exec.lp = opts.get_int("lp", 0);  // 0: use $CIRRUS_LP (or 1)
+  if (exec.telemetry.enabled && (exec.lp > 1 || mpi::default_lp() > 1)) {
     std::fputs("note: telemetry enabled; running single-LP (--lp ignored)\n", stderr);
   }
-  if (const auto sched = opts.get("sched"); sched) {
-    sim::set_default_scheduler(sim::scheduler_from_string(*sched));
-  }
-  cfg.scheduler = sim::default_scheduler();
-  return cfg;
+  return exec;
 }
 
 /// The per-link utilisation table printed with --ipm on a non-trivial fabric.
@@ -108,36 +95,6 @@ void print_link_table(const mpi::JobResult& r) {
         .add(cirrus::sim::to_seconds(s.queued), 3);
   }
   std::fputs(t.str().c_str(), stdout);
-}
-
-/// Runs the job, under injected node crashes with checkpoint/restart when
-/// --mtbf or --ckpt is given; plain run_job otherwise.
-mpi::JobResult run_maybe_resilient(mpi::JobConfig cfg,
-                                   const std::function<void(mpi::RankEnv&)>& body,
-                                   const core::Options& opts) {
-  const double mtbf = opts.get_double("mtbf", 0.0);
-  const double ckpt = opts.get_double("ckpt", 0.0);
-  if (mtbf <= 0 && ckpt <= 0) return mpi::run_job(cfg, body);
-
-  cfg.checkpoint_interval_s = ckpt;
-  const auto placement =
-      plat::place_block(cfg.platform, cfg.np, cfg.max_ranks_per_node, cfg.traits, cfg.seed);
-  int nodes = 1;
-  for (const auto& p : placement) nodes = std::max(nodes, p.node + 1);
-
-  fault::FaultModel model;
-  model.crash_mtbf_s = mtbf;
-  const auto schedule = fault::FaultSchedule::generate(
-      model, nodes, opts.get_double("horizon", 30.0 * 86400), cfg.seed + 0x5EED);
-  fault::ResilientOptions ropts;
-  ropts.requeue_delay_s = opts.get_double("requeue", 60.0);
-  const auto run = fault::run_resilient(cfg, body, schedule, ropts);
-  std::printf(
-      "faults: %d attempt(s), %d crash(es), %.1f s lost work, %.1f s restart delay, "
-      "%d checkpoint(s); makespan %.3f s\n",
-      run.attempts, run.faults_hit, run.lost_work_s, run.restart_delay_s,
-      run.checkpoints_taken, run.makespan_s);
-  return run.result;
 }
 
 void print_result(const mpi::JobResult& r, const std::string& name,
@@ -188,34 +145,30 @@ void print_result(const mpi::JobResult& r, const std::string& name,
   }
 }
 
-int run_npb(const core::Options& opts) {
-  const std::string bench = opts.get_or("bench", "CG");
-  const auto cls = npb::class_from_char(opts.get_or("class", "S")[0]);
-  auto cfg = base_config(opts);
-  const auto& info = npb::benchmark(bench);
-  auto job = npb::make_job(info, cls, cfg.platform, cfg.np, cfg.execute, cfg.seed);
-  job.max_ranks_per_node = cfg.max_ranks_per_node;
-  job.eager_threshold_bytes = cfg.eager_threshold_bytes;
-  job.enable_trace = cfg.enable_trace;
-  job.topology = cfg.topology;
-  job.placement = cfg.placement;
-  job.telemetry = cfg.telemetry;
-  job.lp = cfg.lp;
-  job.scheduler = cfg.scheduler;
-  const auto r = run_maybe_resilient(
-      job,
-      [&info, cls](mpi::RankEnv& env) {
-        const auto res = info.fn(env, cls);
-        if (env.rank() == 0) {
-          env.report("verified", res.verified ? 1.0 : 0.0);
-          env.report("verification_value", res.verification_value);
-        }
-      },
-      opts);
-  print_result(r, info.name + "." + std::string(1, npb::to_char(cls)) + "." +
-                      std::to_string(cfg.np) + " on " + cfg.platform.name,
-               opts);
-  if (cfg.execute && r.values.count("verified") != 0U && r.values.at("verified") != 1.0) {
+int run_job_mode(const std::string& mode, const core::Options& opts) {
+  auto req = core::RunRequest::from_options(opts);
+  req.workload = mode;
+  if (!opts.has("sched")) {
+    // Preserve the $CIRRUS_SCHED environment default for CLI runs.
+    req.sched = sim::to_string(sim::default_scheduler());
+  }
+  std::string error;
+  if (!req.validate(&error)) {
+    std::fprintf(stderr, "error: %s\n", error.c_str());
+    return 2;
+  }
+  const auto out = serve::execute(req, exec_options(opts));
+  if (out.resilient_used) {
+    const auto& run = out.resilient;
+    std::printf(
+        "faults: %d attempt(s), %d crash(es), %.1f s lost work, %.1f s restart delay, "
+        "%d checkpoint(s); makespan %.3f s\n",
+        run.attempts, run.faults_hit, run.lost_work_s, run.restart_delay_s,
+        run.checkpoints_taken, run.makespan_s);
+  }
+  print_result(out.result, out.display_name, opts);
+  const auto& r = out.result;
+  if (req.execute && r.values.count("verified") != 0U && r.values.at("verified") != 1.0) {
     std::fputs("VERIFICATION FAILED\n", stderr);
     return 1;
   }
@@ -225,6 +178,10 @@ int run_npb(const core::Options& opts) {
 int run_osu(const core::Options& opts) {
   const auto platform = plat::by_name(opts.get_or("platform", "vayu"));
   const std::string test = opts.get_or("test", "bw");
+  if (test != "bw" && test != "lat") {
+    std::fprintf(stderr, "error: --test bw|lat expected, got '%s'\n", test.c_str());
+    return 2;
+  }
   core::Table t(test == "bw" ? std::vector<std::string>{"bytes", "MB/s"}
                              : std::vector<std::string>{"bytes", "usec"});
   if (test == "bw") {
@@ -240,35 +197,27 @@ int run_osu(const core::Options& opts) {
   return 0;
 }
 
-int run_metum(const core::Options& opts) {
-  auto cfg = base_config(opts);
-  cfg.traits = metum::traits();
-  cfg.name = "metum";
-  const auto r = run_maybe_resilient(cfg, [](mpi::RankEnv& env) { metum::run(env); }, opts);
-  print_result(r, "MetUM N320L70 on " + cfg.platform.name, opts);
-  return 0;
-}
-
-int run_chaste(const core::Options& opts) {
-  auto cfg = base_config(opts);
-  cfg.traits = chaste::traits();
-  cfg.name = "chaste";
-  const auto r = run_maybe_resilient(cfg, [](mpi::RankEnv& env) { chaste::run(env); }, opts);
-  print_result(r, "Chaste rabbit heart on " + cfg.platform.name, opts);
-  return 0;
-}
-
 }  // namespace
 
 int main(int argc, char** argv) {
   const core::Options opts(argc, argv);
+  if (const auto bad = core::unknown_keys(
+          opts, {"platform", "np",        "rpn",     "seed",    "execute", "eager",
+                 "ipm",      "trace",     "metrics", "sample-dt", "metrics-csv",
+                 "topo",     "oversub",   "leaf",    "placement", "mtbf",
+                 "ckpt",     "requeue",   "horizon", "lp",        "sched",
+                 "bench",    "class",     "test"});
+      !bad.empty()) {
+    std::fprintf(stderr, "error: unknown option --%s\n", bad.front().c_str());
+    return usage(argv[0]);
+  }
   if (opts.positional().empty()) return usage(argv[0]);
   const std::string& mode = opts.positional()[0];
   try {
-    if (mode == "npb") return run_npb(opts);
     if (mode == "osu") return run_osu(opts);
-    if (mode == "metum") return run_metum(opts);
-    if (mode == "chaste") return run_chaste(opts);
+    if (mode == "npb" || mode == "metum" || mode == "chaste") {
+      return run_job_mode(mode, opts);
+    }
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;

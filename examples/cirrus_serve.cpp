@@ -1,0 +1,100 @@
+// cirrus_serve — the long-running what-if advisor service.
+//
+//   cirrus_serve [--port N] [--cache-cap N] [--cache-dir DIR]
+//                [--verify-frac F] [--max-inflight N] [--timeout-ms MS]
+//
+// Accepts what-if queries over HTTP (which platform, how many ranks, what
+// topology, what fault rate?) and answers them by running the simulator.
+// Results are served through a content-addressed cache: the simulator is
+// deterministic, so repeats of a configuration are byte-identical cache
+// hits. Routes:
+//
+//   GET  /healthz                        liveness
+//   GET  /query?workload=npb&bench=CG&np=64&platform=ec2&...
+//   POST /query   {"workload":"npb","bench":"CG","np":64,...}
+//   GET|POST /advise?bench=CG&np=16&queue_wait_hours=4
+//   GET  /metrics                        Prometheus text exposition
+//   GET  /cache/stats                    cache counters as JSON
+//
+// With --port 0 (the default) an ephemeral port is chosen and printed; CI
+// and the load generator parse the "listening on port N" line.
+#include <csignal>
+#include <cstdio>
+#include <string>
+
+#include "core/options.hpp"
+#include "serve/http.hpp"
+#include "serve/service.hpp"
+
+namespace {
+
+int usage(const char* prog) {
+  std::fprintf(stderr,
+               "usage: %s [--port N (0 = ephemeral)] [--cache-cap entries]\n"
+               "          [--cache-dir dir (persist results)] [--verify-frac 0..1]\n"
+               "          [--max-inflight jobs] [--timeout-ms queue-wait]\n",
+               prog);
+  return 2;
+}
+
+std::sig_atomic_t g_stop = 0;
+void on_signal(int) { g_stop = 1; }
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace cirrus;
+  const core::Options opts(argc, argv);
+  if (const auto bad = core::unknown_keys(opts, {"port", "cache-cap", "cache-dir",
+                                                 "verify-frac", "max-inflight",
+                                                 "timeout-ms", "help"});
+      !bad.empty()) {
+    std::fprintf(stderr, "error: unknown option --%s\n", bad.front().c_str());
+    return usage(argv[0]);
+  }
+  if (opts.has("help") || !opts.positional().empty()) return usage(argv[0]);
+
+  serve::Service::Options sopts;
+  sopts.cache.capacity = static_cast<std::size_t>(opts.get_int("cache-cap", 1024));
+  sopts.cache.spill_dir = opts.get_or("cache-dir", "");
+  sopts.verify_fraction = opts.get_double("verify-frac", 0.0);
+  sopts.max_inflight_jobs = opts.get_int("max-inflight", 0);
+  sopts.queue_timeout_ms = opts.get_int("timeout-ms", 5000);
+  if (sopts.cache.capacity < 1 || sopts.verify_fraction < 0 || sopts.verify_fraction > 1) {
+    return usage(argv[0]);
+  }
+
+  serve::Service service(sopts);
+  serve::HttpServer::Options hopts;
+  hopts.port = opts.get_int("port", 0);
+  serve::HttpServer server(hopts, [&service](const serve::HttpRequest& req) {
+    return service.handle(req);
+  });
+  std::string error;
+  if (!server.start(&error)) {
+    std::fprintf(stderr, "error: %s\n", error.c_str());
+    return 1;
+  }
+  std::printf("cirrus_serve listening on port %d\n", server.port());
+  std::printf("  cache: %zu entries%s%s, verify %.0f%% of hits\n", sopts.cache.capacity,
+              sopts.cache.spill_dir.empty() ? "" : ", spill to ",
+              sopts.cache.spill_dir.c_str(), sopts.verify_fraction * 100);
+  std::printf("  compute slots: %d, queue timeout %d ms\n", service.gate().capacity(),
+              sopts.queue_timeout_ms);
+  std::fflush(stdout);
+
+  std::signal(SIGINT, on_signal);
+  std::signal(SIGTERM, on_signal);
+  sigset_t set;
+  sigemptyset(&set);
+  while (g_stop == 0) sigsuspend(&set);  // park until SIGINT/SIGTERM
+
+  std::puts("shutting down");
+  server.stop();
+  const auto s = service.cache().stats();
+  std::printf("cache: %llu hit(s), %llu miss(es), %llu eviction(s)\n",
+              static_cast<unsigned long long>(s.hits),
+              static_cast<unsigned long long>(s.misses),
+              static_cast<unsigned long long>(s.evictions));
+  return 0;
+}

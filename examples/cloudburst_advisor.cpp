@@ -3,85 +3,59 @@
 // a StarCluster-style EC2 cluster, and compare predicted turnaround and cost
 // against waiting for the local HPC queue.
 //
+// The pipeline itself lives in serve::advise() (shared with cirrus_serve's
+// /advise endpoint); this demo only formats the result.
+//
 //   ./build/examples/cloudburst_advisor [bench=CG] [np=16] [queue_wait_hours=4]
 #include <cstdio>
 #include <cstdlib>
 
-#include "cloud/cloud.hpp"
-#include "cloud/packaging.hpp"
-#include "npb/npb.hpp"
+#include "serve/advisor.hpp"
 
 int main(int argc, char** argv) {
   using namespace cirrus;
-  const std::string bench = argc > 1 ? argv[1] : "CG";
-  const int np = argc > 2 ? std::atoi(argv[2]) : 16;
-  const double queue_wait_h = argc > 3 ? std::atof(argv[3]) : 4.0;
+  serve::AdvisorRequest req;
+  req.bench = argc > 1 ? argv[1] : "CG";
+  req.np = argc > 2 ? std::atoi(argv[2]) : 16;
+  req.queue_wait_h = argc > 3 ? std::atof(argv[3]) : 4.0;
 
-  // 1. Profile the workload on the local HPC system (class B, model mode).
-  std::printf("profiling %s class B on vayu at %d ranks...\n", bench.c_str(), np);
-  const auto profile = npb::run_benchmark(bench, npb::Class::B, plat::vayu(), np, false);
-  const double local_runtime = profile.elapsed_seconds;
-  std::printf("  local runtime %.0f s, %.0f%% communication\n", local_runtime,
-              profile.ipm.comm_pct());
-
-  // 2. Package the HPC environment into a VM image (paper §IV). The first
-  //    attempt ships Vayu-tuned binaries and hits the paper's SSE4 barrier;
-  //    the portable rebuild deploys cleanly.
-  auto env = cloud::paper_environment();
-  auto image = cloud::package_environment(env, plat::vayu());
-  std::printf("packaged /apps into a %.0f MB image in %.0f s\n", image.size_mb,
-              image.build_seconds);
-  cloud::Deployment deployment;
+  serve::AdvisorResult a;
   try {
-    deployment = cloud::deploy_image(image, plat::ec2());
-  } catch (const cloud::IncompatibleIsaError& e) {
-    std::printf("deploy failed: %s\n", e.what());
-    env = cloud::rebuild_portable(env);
-    image = cloud::package_environment(env, plat::vayu());
-    deployment = cloud::deploy_image(image, plat::ec2());
+    a = serve::advise(req);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+
+  // 1. Local profile.
+  std::printf("profiling %s class B on vayu at %d ranks...\n", req.bench.c_str(), req.np);
+  std::printf("  local runtime %.0f s, %.0f%% communication\n", a.local_runtime_s,
+              a.local_comm_pct);
+
+  // 2. Environment packaging and deployment (paper §IV).
+  std::printf("packaged /apps into a %.0f MB image in %.0f s\n", a.image_size_mb,
+              a.image_build_s);
+  if (a.isa_rebuild_needed) {
+    std::printf("deploy failed: %s\n", a.isa_error.c_str());
     std::puts("rebuilt with portable switches; image deploys cleanly");
   }
-  std::printf("image transfer %.0f s + VM boot %.0f s\n", deployment.transfer_seconds,
-              deployment.boot_seconds);
+  std::printf("image transfer %.0f s + VM boot %.0f s\n", a.transfer_s, a.boot_s);
 
-  // 3. Provision a StarCluster-style EC2 cluster big enough for the job.
-  cloud::Provisioner prov(42);
-  // One instance per 8 ranks: physical cores only, no HyperThread sharing
-  // (the paper's EC2-4 lesson: never oversubscribe).
-  const int instances = (np + 7) / 8;
-  const auto cluster = prov.provision("cc1.4xlarge", instances, /*placement_group=*/true);
-  std::printf("provisioned %d x cc1.4xlarge (ready in %.0f s, $%.2f/h)\n", instances,
-              cluster.ready_after_s, cluster.hourly_usd);
+  // 3. Provisioned cluster.
+  std::printf("provisioned %d x cc1.4xlarge (ready in %.0f s, $%.2f/h)\n", a.instances,
+              a.cluster_ready_s, a.hourly_usd);
 
-  // 4. ARRIVE-F prediction of the runtime on the provisioned cluster.
-  const auto traits = npb::benchmark(bench).traits;
-  const auto pred = cloud::predict_runtime(profile.ipm, plat::vayu(), cluster.platform, np, -1,
-                                           /*dst_max_rpn=*/8, traits);
-  const double slowdown = pred.seconds / local_runtime;
+  // 4. ARRIVE-F prediction.
   std::printf("predicted cloud runtime %.0f s (%.2fx local): comp %.0f s, comm %.0f s\n",
-              pred.seconds, slowdown, pred.comp_seconds, pred.comm_seconds);
+              a.predicted_s, a.slowdown, a.predicted_comp_s, a.predicted_comm_s);
 
-  // 5. Compare turnarounds and price the cloud run at spot.
-  const double local_turnaround = queue_wait_h * 3600 + local_runtime;
-  const double cloud_turnaround =
-      deployment.ready_seconds + cluster.ready_after_s + pred.seconds;
-  cloud::SpotMarket market({}, 7);
-  const double spot_cost = market.cost(0, cloud_turnaround, instances);
-  const double od_cost = cluster.hourly_usd * (cloud_turnaround / 3600.0);
-
-  std::printf("\nlocal:  wait %.1f h + run %.0f s  => turnaround %.2f h ($0)\n", queue_wait_h,
-              local_runtime, local_turnaround / 3600);
+  // 5. Turnaround and cost comparison.
+  std::printf("\nlocal:  wait %.1f h + run %.0f s  => turnaround %.2f h ($0)\n",
+              req.queue_wait_h, a.local_runtime_s, a.local_turnaround_s / 3600);
   std::printf("cloud:  deploy %.0f s + boot %.0f s + run %.0f s => turnaround %.2f h "
               "($%.2f on-demand, $%.2f spot)\n",
-              deployment.ready_seconds, cluster.ready_after_s, pred.seconds,
-              cloud_turnaround / 3600, od_cost, spot_cost);
-  if (cloud_turnaround < local_turnaround && slowdown < 1.8) {
-    std::puts("\nADVICE: burst this job to the cloud.");
-  } else if (slowdown >= 1.8) {
-    std::puts("\nADVICE: stay local — the job is too communication-bound for the cloud "
-              "interconnect (the paper's key finding).");
-  } else {
-    std::puts("\nADVICE: stay local — the queue is short enough.");
-  }
+              a.transfer_s + a.boot_s, a.cluster_ready_s, a.predicted_s,
+              a.cloud_turnaround_s / 3600, a.on_demand_cost_usd, a.spot_cost_usd);
+  std::printf("\nADVICE: %s\n", a.advice_detail());
   return 0;
 }

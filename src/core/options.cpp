@@ -57,4 +57,27 @@ double Options::get_double(const std::string& key, double dflt) const {
 
 bool Options::has(const std::string& key) const { return values_.count(key) > 0; }
 
+std::vector<std::string> Options::keys() const {
+  std::vector<std::string> out;
+  out.reserve(values_.size());
+  for (const auto& [k, v] : values_) out.push_back(k);  // map: already sorted
+  return out;
+}
+
+std::vector<std::string> unknown_keys(const Options& opts,
+                                      std::initializer_list<std::string_view> allowed) {
+  std::vector<std::string> out;
+  for (const auto& k : opts.keys()) {
+    bool known = false;
+    for (const auto a : allowed) {
+      if (k == a) {
+        known = true;
+        break;
+      }
+    }
+    if (!known) out.push_back(k);
+  }
+  return out;
+}
+
 }  // namespace cirrus::core

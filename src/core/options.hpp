@@ -4,9 +4,11 @@
 // switches (a `--key` followed by another `--...` or nothing is a flag).
 #pragma once
 
+#include <initializer_list>
 #include <map>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace cirrus::core {
@@ -23,6 +25,9 @@ class Options {
   /// True if `--key` appeared (with or without a value).
   [[nodiscard]] bool has(const std::string& key) const;
 
+  /// Every `--key` name that appeared, in sorted order.
+  [[nodiscard]] std::vector<std::string> keys() const;
+
   [[nodiscard]] const std::vector<std::string>& positional() const noexcept {
     return positional_;
   }
@@ -33,5 +38,15 @@ class Options {
   std::map<std::string, std::string> values_;
   std::vector<std::string> positional_;
 };
+
+/// The `--key` names in `opts` that are not in `allowed`, sorted. Drivers
+/// with a closed flag set reject instead of silently ignoring typos:
+///
+///   if (const auto bad = unknown_keys(opts, {"np", "seed"}); !bad.empty()) {
+///     std::fprintf(stderr, "unknown option --%s\n", bad.front().c_str());
+///     return usage(argv[0]);
+///   }
+std::vector<std::string> unknown_keys(const Options& opts,
+                                      std::initializer_list<std::string_view> allowed);
 
 }  // namespace cirrus::core

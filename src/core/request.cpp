@@ -1,0 +1,243 @@
+#include "core/request.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+
+namespace cirrus::core {
+
+namespace {
+
+/// Shortest round-trip decimal for key-grammar doubles — same policy as the
+/// JSON writers, so "2.5" stays "2.5" and never "2.5000000000000000".
+std::string num(double v) {
+  char buf[64];
+  for (int prec = 15; prec <= 17; ++prec) {
+    std::snprintf(buf, sizeof buf, "%.*g", prec, v);
+    if (std::strtod(buf, nullptr) == v) break;
+  }
+  return buf;
+}
+
+std::string lower(std::string s) {
+  for (auto& c : s) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return s;
+}
+
+std::string upper(std::string s) {
+  for (auto& c : s) c = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+  return s;
+}
+
+bool parse_int(const std::string& v, long long& out) {
+  char* end = nullptr;
+  out = std::strtoll(v.c_str(), &end, 10);
+  return end != v.c_str() && *end == '\0';
+}
+
+bool parse_num(const std::string& v, double& out) {
+  char* end = nullptr;
+  out = std::strtod(v.c_str(), &end);
+  return end != v.c_str() && *end == '\0';
+}
+
+bool one_of(const std::string& v, std::initializer_list<std::string_view> set) {
+  return std::any_of(set.begin(), set.end(), [&](std::string_view s) { return v == s; });
+}
+
+bool fail(std::string* error, std::string msg) {
+  if (error != nullptr) *error = std::move(msg);
+  return false;
+}
+
+}  // namespace
+
+std::uint64_t fnv1a64(std::string_view s) noexcept {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+std::vector<std::pair<std::string, std::string>> RunRequest::items() const {
+  // Alphabetical by key — the canonical order. Every knob always appears so
+  // "np=8" and an omitted np canonicalise identically. `bench` is normalised
+  // per workload (npb kernels upper-case, osu tests lower-case) and pinned
+  // to "-" where it cannot affect the result, so irrelevant knobs never
+  // split the cache.
+  const std::string canon_bench = workload == "npb"   ? upper(bench)
+                                  : workload == "osu" ? lower(bench)
+                                                      : std::string("-");
+  return {
+      {"bench", canon_bench},
+      {"ckpt", num(ckpt_s)},
+      {"class", upper(cls)},
+      {"eager", std::to_string(eager_bytes)},
+      {"execute", execute ? "1" : "0"},
+      {"horizon", num(horizon_s)},
+      {"leaf", std::to_string(leaf)},
+      {"mtbf", num(mtbf_s)},
+      {"np", std::to_string(np)},
+      {"oversub", num(oversub)},
+      {"placement", lower(placement)},
+      {"platform", lower(platform)},
+      {"requeue", num(requeue_s)},
+      {"rpn", std::to_string(rpn)},
+      {"sched", lower(sched)},
+      {"seed", std::to_string(seed)},
+      {"topo", lower(topo)},
+      {"workload", lower(workload)},
+  };
+}
+
+std::string RunRequest::canonical_key() const {
+  std::string out;
+  for (const auto& [k, v] : items()) {
+    if (!out.empty()) out += ' ';
+    out += k;
+    out += '=';
+    out += v;
+  }
+  return out;
+}
+
+std::uint64_t RunRequest::key_hash() const { return fnv1a64(canonical_key()); }
+
+std::string RunRequest::key_hash_hex() const {
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "%016llx", static_cast<unsigned long long>(key_hash()));
+  return buf;
+}
+
+bool RunRequest::set(const std::string& key, const std::string& value, std::string* error) {
+  long long i = 0;
+  double d = 0;
+  const auto want_int = [&](long long lo, long long hi) {
+    return parse_int(value, i) && i >= lo && i <= hi;
+  };
+  const auto want_num = [&](double lo) { return parse_num(value, d) && d >= lo; };
+
+  if (key == "workload") {
+    workload = lower(value);
+  } else if (key == "bench") {
+    // npb kernel names canonicalise upper-case; osu test names lower-case.
+    bench = value;
+  } else if (key == "class") {
+    cls = upper(value);
+  } else if (key == "platform") {
+    platform = lower(value);
+  } else if (key == "np") {
+    if (!want_int(1, 1 << 20)) return fail(error, "np: positive integer expected");
+    np = static_cast<int>(i);
+  } else if (key == "rpn") {
+    if (!want_int(-1, 1 << 20)) return fail(error, "rpn: integer >= -1 expected");
+    rpn = static_cast<int>(i);
+  } else if (key == "seed") {
+    if (!want_int(0, (1LL << 62))) return fail(error, "seed: non-negative integer expected");
+    seed = static_cast<std::uint64_t>(i);
+  } else if (key == "execute") {
+    if (!one_of(value, {"0", "1", "true", "false"})) {
+      return fail(error, "execute: 0|1 expected");
+    }
+    execute = value == "1" || value == "true";
+  } else if (key == "eager") {
+    if (!want_int(0, 1LL << 32)) return fail(error, "eager: byte count expected");
+    eager_bytes = static_cast<std::uint64_t>(i);
+  } else if (key == "topo") {
+    topo = lower(value);
+  } else if (key == "oversub") {
+    if (!want_num(0)) return fail(error, "oversub: number >= 0 expected");
+    oversub = d;
+  } else if (key == "leaf") {
+    if (!want_int(1, 1 << 16)) return fail(error, "leaf: positive integer expected");
+    leaf = static_cast<int>(i);
+  } else if (key == "placement") {
+    placement = lower(value);
+  } else if (key == "sched") {
+    sched = lower(value);
+  } else if (key == "mtbf") {
+    if (!want_num(0)) return fail(error, "mtbf: seconds >= 0 expected");
+    mtbf_s = d;
+  } else if (key == "ckpt") {
+    if (!want_num(0)) return fail(error, "ckpt: seconds >= 0 expected");
+    ckpt_s = d;
+  } else if (key == "requeue") {
+    if (!want_num(0)) return fail(error, "requeue: seconds >= 0 expected");
+    requeue_s = d;
+  } else if (key == "horizon") {
+    if (!want_num(0)) return fail(error, "horizon: seconds >= 0 expected");
+    horizon_s = d;
+  } else {
+    return fail(error, "unknown key '" + key + "'");
+  }
+  return true;
+}
+
+bool RunRequest::parse(const std::vector<std::pair<std::string, std::string>>& kvs,
+                       RunRequest& out, std::string* error) {
+  out = RunRequest{};
+  for (const auto& [k, v] : kvs) {
+    if (!out.set(k, v, error)) return false;
+  }
+  return out.validate(error);
+}
+
+RunRequest RunRequest::from_options(const Options& opts) {
+  RunRequest req;
+  std::string error;
+  for (const auto& key : opts.keys()) {
+    const auto value = opts.get(key);
+    if (!value) {
+      if (key == "execute" && !req.set(key, "1", &error)) {
+        throw std::invalid_argument("--execute: " + error);
+      }
+      continue;  // other valueless flags (--ipm, --metrics) are not request keys
+    }
+    // Only request keys are consumed; front-end-only flags pass through.
+    RunRequest probe = req;
+    if (probe.set(key, *value, &error)) {
+      req = probe;
+    } else if (error.rfind("unknown key", 0) != 0) {
+      throw std::invalid_argument("--" + key + ": " + error);
+    }
+  }
+  if (!req.validate(&error)) throw std::invalid_argument(error);
+  return req;
+}
+
+bool RunRequest::validate(std::string* error) const {
+  if (!one_of(workload, {"npb", "osu", "metum", "chaste"})) {
+    return fail(error, "workload: npb|osu|metum|chaste expected, got '" + workload + "'");
+  }
+  if (workload == "npb") {
+    if (!one_of(upper(bench), {"BT", "EP", "CG", "FT", "IS", "LU", "MG", "SP"})) {
+      return fail(error, "bench: BT|EP|CG|FT|IS|LU|MG|SP expected, got '" + bench + "'");
+    }
+    if (!one_of(cls, {"T", "S", "W", "A", "B", "C"})) {
+      return fail(error, "class: T|S|W|A|B|C expected, got '" + cls + "'");
+    }
+  }
+  if (workload == "osu" && !one_of(lower(bench), {"bw", "lat"})) {
+    return fail(error, "bench: bw|lat expected for osu, got '" + bench + "'");
+  }
+  if (!one_of(platform, {"vayu", "dcc", "ec2"})) {
+    return fail(error, "platform: vayu|dcc|ec2 expected, got '" + platform + "'");
+  }
+  if (!one_of(topo, {"crossbar", "fattree", "vswitch", "pgroups"})) {
+    return fail(error, "topo: crossbar|fattree|vswitch|pgroups expected, got '" + topo + "'");
+  }
+  if (!one_of(placement, {"contig", "scatter", "pgroup"})) {
+    return fail(error, "placement: contig|scatter|pgroup expected, got '" + placement + "'");
+  }
+  if (!one_of(sched, {"heap4", "calendar"})) {
+    return fail(error, "sched: heap4|calendar expected, got '" + sched + "'");
+  }
+  if (np < 1) return fail(error, "np: must be >= 1");
+  return true;
+}
+
+}  // namespace cirrus::core

@@ -1,0 +1,82 @@
+// RunRequest: one simulation configuration as plain data, shared by every
+// front end — `cirrus_run` flags, `cirrus_serve` HTTP queries, the load
+// generator — and the unit the result cache is keyed on.
+//
+// The struct holds exactly the knobs that affect the simulated result
+// (platform, workload, ranks, topology, faults, protocol thresholds,
+// scheduler, seed). Output toggles (traces, metrics) and pure performance
+// knobs (--lp, --jobs) are deliberately absent: two requests that differ
+// only in those produce byte-identical results, so they must canonicalise
+// to the same cache key.
+//
+// canonical_key() renders the request as `k=v` pairs, every key always
+// present (defaults filled in), keys sorted, values normalised — the
+// *cache-key grammar* (DESIGN.md "Serving"). Because the simulator is
+// deterministic, equal keys imply byte-identical results, which is what
+// makes content-addressed caching exact rather than approximate.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/options.hpp"
+
+namespace cirrus::core {
+
+struct RunRequest {
+  std::string workload = "npb";    ///< npb | osu | metum | chaste
+  std::string bench = "CG";        ///< npb: BT|EP|CG|FT|IS|LU|MG|SP; osu: bw|lat
+  std::string cls = "S";           ///< npb class letter (T|S|W|A|B|C)
+  std::string platform = "vayu";   ///< vayu | dcc | ec2
+  int np = 8;
+  int rpn = -1;                    ///< max ranks per node (-1: fill the node)
+  std::uint64_t seed = 1;
+  bool execute = false;            ///< run the real math vs model mode
+  std::uint64_t eager_bytes = 16 * 1024;
+  std::string topo = "crossbar";   ///< crossbar | fattree | vswitch | pgroups
+  double oversub = 1.0;
+  int leaf = 4;
+  std::string placement = "contig";  ///< contig | scatter | pgroup
+  std::string sched = "heap4";       ///< heap4 | calendar (perf-neutral, kept
+                                     ///< in the key per the service contract)
+  double mtbf_s = 0;               ///< per-node crash MTBF (0: no faults)
+  double ckpt_s = 0;               ///< checkpoint interval
+  double requeue_s = 60;           ///< restart delay after a crash
+  double horizon_s = 2592000;      ///< fault-schedule horizon (30 days)
+
+  /// Canonical `k=v` rendering: sorted keys, all present, normalised values.
+  [[nodiscard]] std::string canonical_key() const;
+  /// FNV-1a 64-bit hash of canonical_key() — the content address.
+  [[nodiscard]] std::uint64_t key_hash() const;
+  /// key_hash() as 16 lower-case hex digits.
+  [[nodiscard]] std::string key_hash_hex() const;
+
+  /// The canonical key split back into (key, value) pairs.
+  [[nodiscard]] std::vector<std::pair<std::string, std::string>> items() const;
+
+  /// Applies one `key=value` pair (the serve/query grammar; also used by
+  /// from_options). Unknown key or malformed value: returns false and sets
+  /// `error`. Order-insensitive by construction: assignment only.
+  bool set(const std::string& key, const std::string& value, std::string* error);
+
+  /// Builds a request from parsed command-line options (`--np 16 --topo
+  /// fattree ...`). Keys not present keep their defaults; a bad value
+  /// throws std::invalid_argument.
+  static RunRequest from_options(const Options& opts);
+
+  /// Builds a request from (key, value) pairs in any order. On failure
+  /// returns false and sets `error`.
+  static bool parse(const std::vector<std::pair<std::string, std::string>>& kvs,
+                    RunRequest& out, std::string* error);
+
+  /// Post-parse sanity: enum fields hold known values, np >= 1, etc.
+  /// Returns false and sets `error` on the first violation.
+  [[nodiscard]] bool validate(std::string* error) const;
+};
+
+/// FNV-1a 64-bit — the content-address hash (stable across platforms).
+std::uint64_t fnv1a64(std::string_view s) noexcept;
+
+}  // namespace cirrus::core

@@ -1,0 +1,77 @@
+#include "obs/json_writer.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+#include "obs/metrics.hpp"
+
+namespace cirrus::obs::jsonw {
+
+std::string escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+std::string quote(std::string_view s) { return "\"" + escape(s) + "\""; }
+
+std::string number(double v) {
+  if (!std::isfinite(v)) return "null";
+  return format_double(v);
+}
+
+Writer& Writer::key(std::string_view k) {
+  comma_if_needed();
+  out_ += quote(k);
+  out_ += ':';
+  after_key_ = true;
+  return *this;
+}
+
+Writer& Writer::open(char c) {
+  comma_if_needed();
+  out_ += c;
+  need_comma_.push_back(false);
+  return *this;
+}
+
+Writer& Writer::close(char c) {
+  out_ += c;
+  if (!need_comma_.empty()) need_comma_.pop_back();
+  if (!need_comma_.empty()) need_comma_.back() = true;
+  return *this;
+}
+
+Writer& Writer::token(std::string t) {
+  comma_if_needed();
+  out_ += t;
+  if (!need_comma_.empty()) need_comma_.back() = true;
+  return *this;
+}
+
+void Writer::comma_if_needed() {
+  if (after_key_) {
+    after_key_ = false;
+    return;
+  }
+  if (!need_comma_.empty() && need_comma_.back()) out_ += ',';
+}
+
+}  // namespace cirrus::obs::jsonw

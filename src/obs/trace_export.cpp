@@ -2,26 +2,16 @@
 
 #include <sstream>
 
+#include "obs/json_writer.hpp"
 #include "obs/metrics.hpp"
 
 namespace cirrus::obs {
 
 namespace {
 
-std::string json_escape(const std::string& s) {
-  std::string out;
-  out.reserve(s.size());
-  for (char c : s) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      default:
-        out += static_cast<unsigned char>(c) < 0x20 ? '?' : c;
-    }
-  }
-  return out;
-}
+// Counter-track names use the shared writer policy (jsonw::escape) so the
+// enriched trace stays strict JSON even for exotic channel names.
+std::string json_escape(const std::string& s) { return jsonw::escape(s); }
 
 }  // namespace
 

@@ -1,0 +1,79 @@
+// Content-addressed result cache: canonical request key -> result blob.
+//
+// The simulator is deterministic, so a cache hit is *exact*: the stored blob
+// is byte-identical to what a recomputation would produce. That turns the
+// classic benchmarking-service trade-off (staleness vs cost) into a pure
+// win, and makes hits verifiable — Service's verify mode re-executes a
+// sampled fraction of hits and asserts byte equality (the strongest
+// self-test a caching layer can have).
+//
+// Addressing: FNV-1a 64-bit over the canonical key (core::RunRequest's
+// sorted `k=v` grammar). The full key string is stored alongside the blob
+// and compared on lookup, so a hash collision degrades to a miss, never to
+// a wrong answer.
+//
+// Eviction: LRU over an intrusive list at a fixed entry capacity. An
+// optional spill directory persists blobs as `<hash>.json` files
+// (cirrus-manifest-style JSON); lookups fall back to disk after a memory
+// miss, so a restarted server keeps its warm set.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+namespace cirrus::serve {
+
+class ResultCache {
+ public:
+  struct Options {
+    std::size_t capacity = 1024;  ///< max in-memory entries (>= 1)
+    std::string spill_dir;        ///< "" = memory only
+  };
+
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
+    std::uint64_t disk_hits = 0;   ///< misses served from the spill dir
+    std::uint64_t collisions = 0;  ///< hash matches with different keys
+    std::uint64_t entries = 0;     ///< current in-memory entry count
+  };
+
+  explicit ResultCache(Options opts);
+
+  /// The blob stored for `key`, or nullopt. Thread-safe; refreshes LRU
+  /// recency on hit. A memory miss consults the spill directory and
+  /// re-admits on disk hit.
+  std::optional<std::string> get(const std::string& key);
+
+  /// Stores (key, blob), evicting the least-recently-used entry when full.
+  /// Overwrites any previous blob for the key.
+  void put(const std::string& key, const std::string& blob);
+
+  [[nodiscard]] Stats stats() const;
+  [[nodiscard]] std::size_t capacity() const noexcept { return opts_.capacity; }
+
+  /// The spill-file path for a key ("" when spilling is off).
+  [[nodiscard]] std::string spill_path(const std::string& key) const;
+
+ private:
+  struct Entry {
+    std::string key;
+    std::string blob;
+    std::list<std::uint64_t>::iterator lru_it;  // position in lru_ (front = hottest)
+  };
+
+  void touch(std::uint64_t hash, Entry& e);  // requires mu_ held
+
+  Options opts_;
+  mutable std::mutex mu_;
+  std::unordered_map<std::uint64_t, Entry> entries_;
+  std::list<std::uint64_t> lru_;
+  Stats stats_;
+};
+
+}  // namespace cirrus::serve

@@ -1,0 +1,49 @@
+// Blocking HTTP/1.1 client for cirrus_query, the load generator and the
+// serve tests: one keep-alive connection, Content-Length bodies only —
+// the mirror image of serve::HttpServer's subset.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+
+namespace cirrus::serve {
+
+struct ClientResponse {
+  int status = 0;
+  std::map<std::string, std::string> headers;  ///< keys lower-cased
+  std::string body;
+};
+
+class HttpClient {
+ public:
+  HttpClient() = default;
+  ~HttpClient();
+  HttpClient(const HttpClient&) = delete;
+  HttpClient& operator=(const HttpClient&) = delete;
+
+  /// Connects to host:port (host is an IPv4 literal, default loopback).
+  /// False + `error` on failure.
+  bool connect(int port, const std::string& host = "127.0.0.1",
+               std::string* error = nullptr);
+
+  /// Issues one request on the persistent connection. `body` empty = no
+  /// payload. Reconnects once transparently if the server closed an idle
+  /// keep-alive connection. nullopt on transport failure.
+  std::optional<ClientResponse> request(const std::string& method, const std::string& target,
+                                        const std::string& body = "");
+
+  void close();
+  [[nodiscard]] bool connected() const noexcept { return fd_ >= 0; }
+
+ private:
+  std::optional<ClientResponse> request_once(const std::string& method,
+                                             const std::string& target,
+                                             const std::string& body);
+
+  int fd_ = -1;
+  int port_ = 0;
+  std::string host_;
+};
+
+}  // namespace cirrus::serve

@@ -1,0 +1,161 @@
+// cirrus_serve's service layer: what-if queries in, deterministic JSON out.
+//
+// A query names one simulation configuration (core::RunRequest). The
+// service canonicalises it, consults the content-addressed ResultCache and
+// either serves the stored blob (a *bit-exact* answer, determinism
+// guarantees it) or acquires a compute slot, runs the sweep on the
+// simulator and caches the result. Responses carry `"cache":"hit|miss"`;
+// everything else in the body is a pure function of the request, so warm
+// repeats are byte-identical.
+//
+// Backpressure (DESIGN.md "Serving"): cache hits are served unconditionally
+// — they cost microseconds. Misses must acquire one of `max_inflight_jobs`
+// compute slots, waiting at most `queue_timeout_ms`; a timeout is a 503
+// with Retry-After rather than an unbounded queue. This keeps worst-case
+// memory and CPU proportional to the slot count no matter how many clients
+// connect.
+//
+// Verify mode: with verify_fraction > 0, that fraction of cache hits is
+// re-executed and byte-compared against the stored blob (a mismatch is a
+// 500 and a metrics increment — it would mean the simulator lost
+// determinism, which CI treats as a bug).
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "core/request.hpp"
+#include "fault/fault.hpp"
+#include "mpi/minimpi.hpp"
+#include "obs/metrics.hpp"
+#include "serve/advisor.hpp"
+#include "serve/cache.hpp"
+#include "serve/http.hpp"
+
+namespace cirrus::serve {
+
+// ---------------------------------------------------------------------------
+// Shared execution plumbing (also used by the cirrus_run CLI).
+// ---------------------------------------------------------------------------
+
+/// Front-end toggles that do not affect simulated results (and therefore
+/// live outside the RunRequest / cache key): tracing, telemetry, engine
+/// parallelism.
+struct ExecOptions {
+  bool enable_trace = false;
+  obs::TelemetryConfig telemetry;
+  int lp = 0;  ///< 0: process default
+};
+
+/// Everything one executed request produced. `result` carries the full
+/// JobResult (trace/telemetry included) so CLI front ends can print IPM
+/// tables; the service serialises only the deterministic parts.
+struct RunOutcome {
+  mpi::JobResult result;
+  fault::ResilientRun resilient;  ///< filled when faults were enabled
+  bool resilient_used = false;
+  std::string display_name;       ///< e.g. "CG.B.64 on ec2"
+};
+
+/// Builds the mpi::JobConfig a request describes (topology, placement,
+/// faults excluded — those are applied by execute()).
+mpi::JobConfig to_job_config(const core::RunRequest& req, const ExecOptions& exec = {});
+
+/// Runs the request end to end (npb/metum/chaste; resilient path when
+/// mtbf/ckpt are set). Throws std::invalid_argument for osu requests —
+/// those are table sweeps, not jobs; use query_json() or the osu API.
+RunOutcome execute(const core::RunRequest& req, const ExecOptions& exec = {});
+
+/// The deterministic result JSON for a request (compact single-line
+/// object; osu requests yield a points array). This is the cached blob.
+std::string query_json(const core::RunRequest& req);
+
+/// The deterministic result JSON for an advisor request (the /advise blob).
+std::string advise_json(const AdvisorRequest& req);
+
+// ---------------------------------------------------------------------------
+// Admission gate.
+// ---------------------------------------------------------------------------
+
+/// Counting semaphore with bounded wait: at most `capacity` holders; a
+/// would-be holder gives up after `timeout`.
+class Gate {
+ public:
+  explicit Gate(int capacity) : capacity_(capacity < 1 ? 1 : capacity) {}
+
+  /// True if a slot was acquired within `timeout`.
+  bool acquire_for(std::chrono::milliseconds timeout);
+  void release();
+
+  [[nodiscard]] int in_flight() const;
+  [[nodiscard]] int capacity() const noexcept { return capacity_; }
+
+ private:
+  const int capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  int held_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// The service.
+// ---------------------------------------------------------------------------
+
+class Service {
+ public:
+  struct Options {
+    ResultCache::Options cache;
+    int max_inflight_jobs = 0;     ///< <= 0: 2 x hardware threads
+    int queue_timeout_ms = 5000;   ///< max wait for a compute slot
+    double verify_fraction = 0;    ///< fraction of hits re-executed (0..1)
+  };
+
+  explicit Service(Options opts);
+
+  /// Routes one HTTP request:
+  ///   GET  /healthz        -> {"status":"ok"}
+  ///   GET  /metrics        -> Prometheus text exposition
+  ///   GET  /query?k=v&...  -> result envelope (also POST with JSON body)
+  ///   POST /advise         -> advisor envelope (also GET with query string)
+  ///   GET  /cache/stats    -> cache counters
+  HttpResponse handle(const HttpRequest& req);
+
+  [[nodiscard]] const ResultCache& cache() const noexcept { return cache_; }
+  [[nodiscard]] const Gate& gate() const noexcept { return gate_; }
+
+  /// Prometheus text of the request/cache/latency series.
+  [[nodiscard]] std::string metrics_text() const;
+
+ private:
+  HttpResponse handle_query(const HttpRequest& req);
+  HttpResponse handle_advise(const HttpRequest& req);
+  /// Cache-or-compute for an already-canonicalised key. `compute` runs
+  /// without the stats lock; sets `status` and returns the envelope body.
+  HttpResponse serve_blob(const std::string& key, const std::string& hash_hex,
+                          const std::function<std::string()>& compute);
+  /// Deterministic hit-sampling decision for verify mode.
+  bool should_verify(std::uint64_t key_hash, std::uint64_t nth_hit) const;
+
+  Options opts_;
+  ResultCache cache_;
+  Gate gate_;
+
+  mutable std::mutex metrics_mu_;
+  obs::MetricsRegistry registry_;
+  obs::Counter req_query_, req_advise_, req_other_;
+  obs::Counter resp_ok_, resp_client_err_, resp_server_err_, resp_rejected_;
+  obs::Counter cache_hit_, cache_miss_;
+  obs::Counter verify_ok_, verify_mismatch_;
+  obs::Histogram lat_hit_us_, lat_miss_us_, queue_wait_us_;
+  std::uint64_t hit_seq_ = 0;  // under metrics_mu_
+};
+
+/// JSON error body ({"error": "..."}).
+std::string error_body(const std::string& message);
+
+}  // namespace cirrus::serve

@@ -1,12 +1,11 @@
 #include "valid/manifest.hpp"
 
-#include <cmath>
-#include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
 
+#include "obs/json_writer.hpp"
 #include "platform/platform.hpp"
 
 #ifndef CIRRUS_GIT_SHA
@@ -17,17 +16,13 @@ namespace cirrus::valid {
 
 namespace {
 
-/// Shortest printf precision in [15, 17] that round-trips the double —
-/// deterministic across platforms, avoids "0.10000000000000001" noise.
-std::string json_number(double v) {
-  if (!std::isfinite(v)) return "null";
-  char buf[64];
-  for (int prec = 15; prec <= 17; ++prec) {
-    std::snprintf(buf, sizeof buf, "%.*g", prec, v);
-    if (std::strtod(buf, nullptr) == v) break;
-  }
-  return buf;
-}
+// Shared emission policy (obs::jsonw): shortest round-trip numbers, RFC 8259
+// escaping — byte-identical to the writers the rest of the toolkit uses.
+using obs::jsonw::number;
+using obs::jsonw::quote;
+
+std::string json_number(double v) { return number(v); }
+std::string json_string(const std::string& s) { return quote(s); }
 
 const char* json_status(CheckStatus s) noexcept {
   switch (s) {
@@ -36,29 +31,6 @@ const char* json_status(CheckStatus s) noexcept {
     case CheckStatus::Missing: return "missing";
   }
   return "?";
-}
-
-std::string json_string(const std::string& s) {
-  std::string out = "\"";
-  for (const char c : s) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\t': out += "\\t"; break;
-      case '\r': out += "\\r"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof buf, "\\u%04x", c);
-          out += buf;
-        } else {
-          out.push_back(c);
-        }
-    }
-  }
-  out.push_back('"');
-  return out;
 }
 
 }  // namespace

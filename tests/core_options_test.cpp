@@ -82,4 +82,21 @@ TEST(Options, BadTopologyValuesThrow) {
   EXPECT_THROW(cirrus::topo::placement_from_string("random"), std::invalid_argument);
 }
 
+TEST(Options, KeysAreSortedAndComplete) {
+  const auto opts = parse({"--np", "32", "--verbose", "--alpha", "1"});
+  EXPECT_EQ(opts.keys(), (std::vector<std::string>{"alpha", "np", "verbose"}));
+  EXPECT_TRUE(parse({}).keys().empty());
+}
+
+TEST(Options, UnknownKeysRejectsTypos) {
+  using cirrus::core::unknown_keys;
+  const auto opts = parse({"--np", "32", "--sede", "7", "--verbose"});
+  // "sede" (a typo of "seed") is flagged; the known flags are not.
+  EXPECT_EQ(unknown_keys(opts, {"np", "seed", "verbose"}),
+            (std::vector<std::string>{"sede"}));
+  EXPECT_TRUE(unknown_keys(opts, {"np", "sede", "verbose"}).empty());
+  // Every key unknown: all reported, sorted.
+  EXPECT_EQ(unknown_keys(opts, {}), (std::vector<std::string>{"np", "sede", "verbose"}));
+}
+
 }  // namespace

@@ -1,0 +1,226 @@
+// The content-addressed cache and its key grammar: canonicalisation is
+// order-insensitive, every knob is collision-tested (distinct values ->
+// distinct keys), LRU eviction holds at capacity, a stored blob equals a
+// recomputation byte for byte, and mixed hit/miss traffic is race-free
+// (this file runs under the TSan preset).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "core/request.hpp"
+#include "serve/cache.hpp"
+#include "serve/service.hpp"
+
+namespace {
+
+using cirrus::core::RunRequest;
+using cirrus::serve::ResultCache;
+
+using KVs = std::vector<std::pair<std::string, std::string>>;
+
+TEST(RequestKey, AllKnobsPresentAndSorted) {
+  const RunRequest req;
+  const auto items = req.items();
+  ASSERT_EQ(items.size(), 18U);
+  EXPECT_TRUE(std::is_sorted(items.begin(), items.end(),
+                             [](const auto& a, const auto& b) { return a.first < b.first; }));
+  const std::string key = req.canonical_key();
+  for (const auto& [k, v] : items) {
+    EXPECT_NE(key.find(k + "=" + v), std::string::npos) << k;
+  }
+}
+
+TEST(RequestKey, OrderInsensitive) {
+  KVs kvs = {{"np", "64"},          {"platform", "ec2"}, {"workload", "npb"},
+             {"bench", "CG"},       {"class", "B"},      {"topo", "fattree"},
+             {"oversub", "2"},      {"leaf", "8"},       {"placement", "scatter"},
+             {"mtbf", "7200"},      {"ckpt", "600"},     {"seed", "9"},
+             {"sched", "calendar"}, {"eager", "8192"},   {"rpn", "8"}};
+  RunRequest base;
+  std::string error;
+  ASSERT_TRUE(RunRequest::parse(kvs, base, &error)) << error;
+
+  std::mt19937 rng(7);
+  for (int i = 0; i < 20; ++i) {
+    std::shuffle(kvs.begin(), kvs.end(), rng);
+    RunRequest shuffled;
+    ASSERT_TRUE(RunRequest::parse(kvs, shuffled, &error)) << error;
+    EXPECT_EQ(shuffled.canonical_key(), base.canonical_key());
+    EXPECT_EQ(shuffled.key_hash(), base.key_hash());
+  }
+}
+
+TEST(RequestKey, ValueNormalisation) {
+  // Case, integral-vs-decimal spellings and defaulted knobs all collapse to
+  // one canonical key.
+  RunRequest a, b;
+  std::string error;
+  ASSERT_TRUE(RunRequest::parse({{"bench", "cg"}, {"class", "b"}, {"oversub", "2"}}, a, &error))
+      << error;
+  ASSERT_TRUE(
+      RunRequest::parse({{"bench", "CG"}, {"class", "B"}, {"oversub", "2.0"}, {"np", "8"}}, b,
+                        &error))
+      << error;
+  EXPECT_EQ(a.canonical_key(), b.canonical_key());
+}
+
+TEST(RequestKey, IrrelevantBenchDoesNotSplitTheCache) {
+  RunRequest a, b;
+  std::string error;
+  ASSERT_TRUE(RunRequest::parse({{"workload", "metum"}, {"bench", "CG"}}, a, &error)) << error;
+  ASSERT_TRUE(RunRequest::parse({{"workload", "metum"}, {"bench", "EP"}}, b, &error)) << error;
+  EXPECT_EQ(a.canonical_key(), b.canonical_key());
+}
+
+TEST(RequestKey, EveryKnobChangesTheKey) {
+  // Collision test across the full knob space: every legal value of every
+  // enum knob, plus representative numeric values, must give distinct keys.
+  const RunRequest base;
+  std::set<std::string> keys = {base.canonical_key()};
+  std::set<std::uint64_t> hashes = {base.key_hash()};
+  const auto insert_distinct = [&](const KVs& kvs) {
+    RunRequest req;
+    std::string error;
+    ASSERT_TRUE(RunRequest::parse(kvs, req, &error)) << error;
+    EXPECT_TRUE(keys.insert(req.canonical_key()).second)
+        << "key collision for " << req.canonical_key();
+    EXPECT_TRUE(hashes.insert(req.key_hash()).second)
+        << "hash collision for " << req.canonical_key();
+  };
+
+  for (const char* p : {"dcc", "ec2"}) insert_distinct({{"platform", p}});
+  for (const char* w : {"metum", "chaste"}) insert_distinct({{"workload", w}});
+  insert_distinct({{"workload", "osu"}, {"bench", "bw"}});
+  insert_distinct({{"workload", "osu"}, {"bench", "lat"}});
+  for (const char* b : {"BT", "EP", "FT", "IS", "LU", "MG", "SP"}) {
+    insert_distinct({{"bench", b}});
+  }
+  for (const char* c : {"T", "W", "A", "B", "C"}) insert_distinct({{"class", c}});
+  for (const char* t : {"fattree", "vswitch", "pgroups"}) insert_distinct({{"topo", t}});
+  for (const char* pl : {"scatter", "pgroup"}) insert_distinct({{"placement", pl}});
+  insert_distinct({{"sched", "calendar"}});
+  for (const char* np : {"2", "4", "16", "64", "256"}) insert_distinct({{"np", np}});
+  for (const char* rpn : {"1", "4", "8"}) insert_distinct({{"rpn", rpn}});
+  for (const char* s : {"2", "3", "12345"}) insert_distinct({{"seed", s}});
+  insert_distinct({{"execute", "1"}});
+  for (const char* e : {"0", "65536"}) insert_distinct({{"eager", e}});
+  for (const char* o : {"2", "4.5"}) insert_distinct({{"oversub", o}});
+  for (const char* l : {"2", "8"}) insert_distinct({{"leaf", l}});
+  for (const char* m : {"3600", "7200"}) insert_distinct({{"mtbf", m}});
+  for (const char* ck : {"300", "600"}) insert_distinct({{"ckpt", ck}});
+  insert_distinct({{"requeue", "120"}});
+  insert_distinct({{"horizon", "86400"}});
+}
+
+TEST(RequestKey, RejectsUnknownAndMalformed) {
+  RunRequest req;
+  std::string error;
+  EXPECT_FALSE(RunRequest::parse({{"bogus", "1"}}, req, &error));
+  EXPECT_NE(error.find("unknown key"), std::string::npos);
+  EXPECT_FALSE(RunRequest::parse({{"np", "zero"}}, req, &error));
+  EXPECT_FALSE(RunRequest::parse({{"np", "0"}}, req, &error));
+  EXPECT_FALSE(RunRequest::parse({{"platform", "azure"}}, req, &error));
+  EXPECT_FALSE(RunRequest::parse({{"bench", "XX"}}, req, &error));
+  EXPECT_FALSE(RunRequest::parse({{"topo", "torus"}}, req, &error));
+  EXPECT_FALSE(RunRequest::parse({{"mtbf", "-1"}}, req, &error));
+}
+
+TEST(ResultCache, HitMissAndOverwrite) {
+  ResultCache cache({.capacity = 4, .spill_dir = ""});
+  EXPECT_FALSE(cache.get("a").has_value());
+  cache.put("a", "blob-a");
+  const auto got = cache.get("a");
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(*got, "blob-a");
+  cache.put("a", "blob-a2");
+  EXPECT_EQ(*cache.get("a"), "blob-a2");
+  const auto s = cache.stats();
+  EXPECT_EQ(s.hits, 2U);
+  EXPECT_EQ(s.misses, 1U);
+  EXPECT_EQ(s.entries, 1U);
+}
+
+TEST(ResultCache, LruEvictionAtCapacity) {
+  ResultCache cache({.capacity = 3, .spill_dir = ""});
+  cache.put("a", "A");
+  cache.put("b", "B");
+  cache.put("c", "C");
+  // Touch "a" so "b" is the least recently used.
+  EXPECT_TRUE(cache.get("a").has_value());
+  cache.put("d", "D");
+  EXPECT_EQ(cache.stats().evictions, 1U);
+  EXPECT_FALSE(cache.get("b").has_value()) << "LRU entry must be evicted";
+  EXPECT_TRUE(cache.get("a").has_value());
+  EXPECT_TRUE(cache.get("c").has_value());
+  EXPECT_TRUE(cache.get("d").has_value());
+  EXPECT_EQ(cache.stats().entries, 3U);
+}
+
+TEST(ResultCache, HitEqualsRecompute) {
+  // The heart of the contract: a stored blob is byte-identical to a fresh
+  // recomputation of the same request (simulator determinism).
+  RunRequest req;
+  req.workload = "npb";
+  req.bench = "EP";
+  req.cls = "S";
+  req.np = 4;
+  std::string error;
+  ASSERT_TRUE(req.validate(&error)) << error;
+
+  const std::string first = cirrus::serve::query_json(req);
+  ResultCache cache({.capacity = 8, .spill_dir = ""});
+  cache.put(req.canonical_key(), first);
+
+  const auto cached = cache.get(req.canonical_key());
+  ASSERT_TRUE(cached.has_value());
+  const std::string recomputed = cirrus::serve::query_json(req);
+  EXPECT_EQ(*cached, recomputed) << "cache hit must be byte-identical to recompute";
+}
+
+TEST(ResultCache, SpillDirectorySurvivesRestart) {
+  const std::string dir = ::testing::TempDir() + "serve_cache_spill";
+  {
+    ResultCache cache({.capacity = 4, .spill_dir = dir});
+    cache.put("k1", "persisted-blob");
+  }
+  ResultCache fresh({.capacity = 4, .spill_dir = dir});
+  const auto got = fresh.get("k1");
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(*got, "persisted-blob");
+  EXPECT_EQ(fresh.stats().disk_hits, 1U);
+  EXPECT_FALSE(fresh.get("never-stored").has_value());
+}
+
+TEST(ResultCache, ConcurrentMixedHitMiss) {
+  // Hammer one cache from many threads with overlapping keys: some threads
+  // re-put, some get; TSan (serve_ preset filter) checks the locking.
+  ResultCache cache({.capacity = 64, .spill_dir = ""});
+  constexpr int kThreads = 8;
+  constexpr int kOps = 500;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&cache, t] {
+      for (int i = 0; i < kOps; ++i) {
+        const std::string key = "key-" + std::to_string((t * 7 + i) % 96);
+        if (i % 3 == 0) {
+          cache.put(key, "blob-" + key);
+        } else if (const auto got = cache.get(key)) {
+          // A hit must carry the exact blob stored for that key — never a
+          // torn or foreign value.
+          ASSERT_EQ(*got, "blob-" + key);
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  const auto s = cache.stats();
+  EXPECT_GT(s.hits + s.misses, 0U);
+  EXPECT_LE(s.entries, 64U);
+}
+
+}  // namespace
