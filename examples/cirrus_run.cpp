@@ -5,6 +5,7 @@
 //   cirrus_run osu    --test bw|lat --platform dcc
 //   cirrus_run metum  --platform ec2 --np 32 --rpn 8
 //   cirrus_run chaste --platform dcc --np 16
+//   cirrus_run wf     --wf-shape montage --storage object --np 8 --platform ec2
 //
 // Common options: --platform vayu|dcc|ec2  --np N  --rpn ranks-per-node
 //                 --seed S  --execute  --eager BYTES  --ipm (full summary)
@@ -50,10 +51,13 @@ using namespace cirrus;
 
 int usage(const char* prog) {
   std::fprintf(stderr,
-               "usage: %s npb|osu|metum|chaste [--platform vayu|dcc|ec2] [--np N]\n"
+               "usage: %s npb|osu|metum|chaste|wf [--platform vayu|dcc|ec2] [--np N]\n"
                "  npb:    --bench BT|EP|CG|FT|IS|LU|MG|SP --class T|S|W|A|B|C [--execute]\n"
                "  osu:    --test bw|lat\n"
+               "  wf:     --wf-shape diamond|montage|epigenomics|broadband --wf-width W\n"
+               "          --wf-sched heft|fifo (np = workers; a master rank is added)\n"
                "  common: --rpn ranks-per-node --seed S --eager bytes --ipm\n"
+               "          --storage nfs|lustre|object (shared-storage backend)\n"
                "          --lp N (parallel engine LPs; default $CIRRUS_LP or 1)\n"
                "          --sched heap4|calendar (event scheduler; default $CIRRUS_SCHED)\n"
                "  topo:   --topo crossbar|fattree|vswitch|pgroups --oversub K --leaf N\n"
@@ -206,7 +210,8 @@ int main(int argc, char** argv) {
                  "ipm",      "trace",     "metrics", "sample-dt", "metrics-csv",
                  "topo",     "oversub",   "leaf",    "placement", "mtbf",
                  "ckpt",     "requeue",   "horizon", "lp",        "sched",
-                 "bench",    "class",     "test"});
+                 "bench",    "class",     "test",    "storage",   "wf-shape",
+                 "wf-width", "wf-sched"});
       !bad.empty()) {
     std::fprintf(stderr, "error: unknown option --%s\n", bad.front().c_str());
     return usage(argv[0]);
@@ -215,7 +220,7 @@ int main(int argc, char** argv) {
   const std::string& mode = opts.positional()[0];
   try {
     if (mode == "osu") return run_osu(opts);
-    if (mode == "npb" || mode == "metum" || mode == "chaste") {
+    if (mode == "npb" || mode == "metum" || mode == "chaste" || mode == "wf") {
       return run_job_mode(mode, opts);
     }
   } catch (const std::exception& e) {

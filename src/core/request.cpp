@@ -72,6 +72,13 @@ std::vector<std::pair<std::string, std::string>> RunRequest::items() const {
   const std::string canon_bench = workload == "npb"   ? upper(bench)
                                   : workload == "osu" ? lower(bench)
                                                       : std::string("-");
+  // "s3" is an accepted spelling of the object backend; osu moves no file
+  // data, so its storage knob is pinned. The wf-* knobs only exist for the
+  // workflow workload.
+  const std::string canon_storage =
+      workload == "osu" ? std::string("-")
+                        : (lower(storage) == "s3" ? std::string("object") : lower(storage));
+  const bool is_wf = workload == "wf";
   return {
       {"bench", canon_bench},
       {"ckpt", num(ckpt_s)},
@@ -89,7 +96,11 @@ std::vector<std::pair<std::string, std::string>> RunRequest::items() const {
       {"rpn", std::to_string(rpn)},
       {"sched", lower(sched)},
       {"seed", std::to_string(seed)},
+      {"storage", canon_storage},
       {"topo", lower(topo)},
+      {"wf-sched", is_wf ? lower(wf_sched) : std::string("-")},
+      {"wf-shape", is_wf ? lower(wf_shape) : std::string("-")},
+      {"wf-width", is_wf ? std::to_string(wf_width) : std::string("-")},
       {"workload", lower(workload)},
   };
 }
@@ -171,6 +182,15 @@ bool RunRequest::set(const std::string& key, const std::string& value, std::stri
   } else if (key == "horizon") {
     if (!want_num(0)) return fail(error, "horizon: seconds >= 0 expected");
     horizon_s = d;
+  } else if (key == "storage") {
+    storage = lower(value);
+  } else if (key == "wf-shape") {
+    wf_shape = lower(value);
+  } else if (key == "wf-width") {
+    if (!want_int(0, 4096)) return fail(error, "wf-width: integer in [0, 4096] expected");
+    wf_width = static_cast<int>(i);
+  } else if (key == "wf-sched") {
+    wf_sched = lower(value);
   } else {
     return fail(error, "unknown key '" + key + "'");
   }
@@ -210,8 +230,8 @@ RunRequest RunRequest::from_options(const Options& opts) {
 }
 
 bool RunRequest::validate(std::string* error) const {
-  if (!one_of(workload, {"npb", "osu", "metum", "chaste"})) {
-    return fail(error, "workload: npb|osu|metum|chaste expected, got '" + workload + "'");
+  if (!one_of(workload, {"npb", "osu", "metum", "chaste", "wf"})) {
+    return fail(error, "workload: npb|osu|metum|chaste|wf expected, got '" + workload + "'");
   }
   if (workload == "npb") {
     if (!one_of(upper(bench), {"BT", "EP", "CG", "FT", "IS", "LU", "MG", "SP"})) {
@@ -235,6 +255,22 @@ bool RunRequest::validate(std::string* error) const {
   }
   if (!one_of(sched, {"heap4", "calendar"})) {
     return fail(error, "sched: heap4|calendar expected, got '" + sched + "'");
+  }
+  if (!one_of(storage, {"nfs", "lustre", "object", "s3"})) {
+    return fail(error, "storage: nfs|lustre|object expected, got '" + storage + "'");
+  }
+  if (workload == "wf") {
+    if (!one_of(wf_shape, {"diamond", "montage", "epigenomics", "broadband"})) {
+      return fail(error,
+                  "wf-shape: diamond|montage|epigenomics|broadband expected, got '" +
+                      wf_shape + "'");
+    }
+    if (!one_of(wf_sched, {"heft", "fifo"})) {
+      return fail(error, "wf-sched: heft|fifo expected, got '" + wf_sched + "'");
+    }
+    if (mtbf_s > 0 || ckpt_s > 0) {
+      return fail(error, "wf: fault injection (mtbf/ckpt) is not supported");
+    }
   }
   if (np < 1) return fail(error, "np: must be >= 1");
   return true;

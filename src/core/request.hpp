@@ -26,7 +26,7 @@
 namespace cirrus::core {
 
 struct RunRequest {
-  std::string workload = "npb";    ///< npb | osu | metum | chaste
+  std::string workload = "npb";    ///< npb | osu | metum | chaste | wf
   std::string bench = "CG";        ///< npb: BT|EP|CG|FT|IS|LU|MG|SP; osu: bw|lat
   std::string cls = "S";           ///< npb class letter (T|S|W|A|B|C)
   std::string platform = "vayu";   ///< vayu | dcc | ec2
@@ -45,6 +45,10 @@ struct RunRequest {
   double ckpt_s = 0;               ///< checkpoint interval
   double requeue_s = 60;           ///< restart delay after a crash
   double horizon_s = 2592000;      ///< fault-schedule horizon (30 days)
+  std::string storage = "nfs";     ///< nfs | lustre | object ("s3" = object)
+  std::string wf_shape = "montage";  ///< wf: diamond|montage|epigenomics|broadband
+  int wf_width = 0;                ///< wf: fan-out width (0: shape default)
+  std::string wf_sched = "heft";   ///< wf: heft | fifo
 
   /// Canonical `k=v` rendering: sorted keys, all present, normalised values.
   [[nodiscard]] std::string canonical_key() const;

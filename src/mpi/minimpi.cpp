@@ -292,7 +292,7 @@ class Job {
         placement(plat::place_block(cfg.platform, cfg.np, cfg.max_ranks_per_node, cfg.traits,
                                     cfg.seed)),
         network(engine, cfg.platform, node_span(), cfg.seed),
-        fs(engine, cfg.platform.fs) {
+        fs(engine, storage::model_for(cfg.platform, cfg.storage_backend)) {
     recorders.reserve(static_cast<std::size_t>(cfg.np));
     for (int r = 0; r < cfg.np; ++r) recorders.emplace_back(r);
     procs.resize(static_cast<std::size_t>(cfg.np), nullptr);
@@ -526,7 +526,7 @@ class Job {
   std::shared_ptr<ipm::Trace> trace;  // null unless config.enable_trace or lp_n > 1
   std::vector<plat::RankPlacement> placement;
   net::Network network;
-  net::FileSystem fs;
+  storage::Service fs;
   std::vector<ipm::RankRecorder> recorders;
   std::vector<sim::Process*> procs;
   std::map<std::string, double> values;
@@ -1798,6 +1798,8 @@ void RankEnv::io_write(std::size_t bytes, bool open_file) {
                     -1);
 }
 
+void RankEnv::annotate(const std::string& name) { job_->record_instant(world_rank_, name); }
+
 bool RankEnv::checkpointing() const noexcept { return job_->config.checkpoint_store != nullptr; }
 
 bool RankEnv::interruption_imminent() const noexcept {
@@ -1919,6 +1921,7 @@ std::vector<IntrinsicCounter> intrinsic_counters(const Job& job) {
   // Network totals: the shared internode model plus every LP's local
   // intranode sink (single-LP runs have one empty sink).
   net::NetStats ns = job.network.stats();
+  const storage::Stats& ss = job.fs.stats();
   Job::MpiCounters mc;
   for (const Job::LpShard& sh : job.lp_) {
     ns.transfers_internode += sh.net.transfers_internode;
@@ -1975,6 +1978,16 @@ std::vector<IntrinsicCounter> intrinsic_counters(const Job& job) {
       {"mpi_envelopes_reused", mc.envelopes_reused, false},
       {"mpi_checkpoints_committed", mc.checkpoints_committed, true},
       {"mpi_checkpoint_bytes", mc.checkpoint_bytes, true},
+      // Storage-layer service counters: requests are serviced in canonical
+      // order (coordinator-side under multi-LP), so every field — including
+      // the queueing times — is a pure function of the event stream.
+      {"storage_reads", ss.reads, true},
+      {"storage_writes", ss.writes, true},
+      {"storage_opens", ss.opens, true},
+      {"storage_bytes_read", ss.bytes_read, true},
+      {"storage_bytes_written", ss.bytes_written, true},
+      {"storage_busy_ns", static_cast<std::uint64_t>(ss.busy), true},
+      {"storage_queued_ns", static_cast<std::uint64_t>(ss.queued), true},
   };
 }
 
@@ -2059,6 +2072,8 @@ JobResult run_job(const JobConfig& config, const std::function<void(RankEnv&)>& 
       for (auto& [k, v] : sh.values) result.values[k] = v;
     }
   }
+  result.storage_stats = job.fs.stats();
+  result.storage_name = job.fs.model().name;
   result.trace = job.final_trace();
   result.topology = job.network.topology_ptr();
   result.link_stats = job.network.link_stats();

@@ -30,6 +30,7 @@
 #include "obs/telemetry.hpp"
 #include "platform/platform.hpp"
 #include "sim/engine.hpp"
+#include "storage/storage.hpp"
 
 namespace cirrus::mpi {
 
@@ -332,6 +333,12 @@ class RankEnv {
   /// Records a named scalar result (last writer wins; typically rank 0).
   void report(const std::string& key, double value);
 
+  /// Drops a named instant marker on this rank's trace track (no-op unless
+  /// JobConfig::enable_trace). Workloads use it to label phase/task
+  /// boundaries — e.g. the workflow runtime marks every task dispatch so
+  /// Perfetto shows per-task spans between markers.
+  void annotate(const std::string& name);
+
   /// Current virtual time in seconds (the job's clock).
   [[nodiscard]] double now_seconds() const noexcept;
 
@@ -399,6 +406,11 @@ struct JobConfig {
   /// Pending-event structure for every engine of this job (heap4/calendar —
   /// a pure performance knob; event order is identical either way).
   sim::SchedulerKind scheduler = sim::default_scheduler();
+  /// Shared-storage backend this job's I/O goes through (RankEnv::io_read /
+  /// io_write, checkpoints). Nfs reproduces the legacy single-server
+  /// plat::FsModel semantics bit for bit; Lustre/Object use the platform's
+  /// StorageCalib (see storage::model_for).
+  storage::Backend storage_backend = storage::Backend::Nfs;
   /// Below/equal: eager protocol; above: rendezvous.
   std::size_t eager_threshold_bytes = 16 * 1024;
   /// Collective algorithm selection (like an MPI tuning file).
@@ -451,6 +463,10 @@ struct JobResult {
   /// Self-profiling results (null unless JobConfig::telemetry.enabled).
   /// Gauges are frozen, so this outlives the engine safely.
   std::shared_ptr<const obs::JobTelemetry> telemetry;
+  /// Storage-layer service counters (always populated) and the backend the
+  /// job ran on (e.g. "NFS", "Lustre/8oss", "Object/16fe").
+  storage::Stats storage_stats;
+  std::string storage_name;
 };
 
 /// Launches `config.np` ranks running `body` and simulates to completion.

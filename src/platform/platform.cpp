@@ -46,6 +46,17 @@ Platform vayu() {
 
   p.fs = FsModel{.read_Bps = 500e6, .write_Bps = 300e6, .open_latency_ms = 0.5,
                  .name = "Lustre"};
+  // Vayu's /short really is striped Lustre over QDR IB: many OSSes, fast
+  // MDS. The object backend models a hypothetical on-site store reached
+  // over the same fabric.
+  p.storage = StorageCalib{.lustre_oss = 8,
+                           .lustre_oss_read_Bps = 280e6,
+                           .lustre_oss_write_Bps = 200e6,
+                           .lustre_mds_open_ms = 0.3,
+                           .lustre_stripe_bytes = 1 << 20,
+                           .object_frontends = 8,
+                           .object_stream_Bps = 100e6,
+                           .object_request_ms = 10.0};
   return p;
 }
 
@@ -86,6 +97,17 @@ Platform dcc() {
 
   p.fs = FsModel{.read_Bps = 45e6, .write_Bps = 30e6, .open_latency_ms = 5.0,
                  .name = "NFS"};
+  // A virtualised parallel FS / Ceph-RGW-like object store behind the same
+  // bonded-GigE vSwitch: modest per-server streams, metadata costs inflated
+  // by the hypervisor.
+  p.storage = StorageCalib{.lustre_oss = 4,
+                           .lustre_oss_read_Bps = 80e6,
+                           .lustre_oss_write_Bps = 55e6,
+                           .lustre_mds_open_ms = 2.0,
+                           .lustre_stripe_bytes = 1 << 20,
+                           .object_frontends = 6,
+                           .object_stream_Bps = 60e6,
+                           .object_request_ms = 15.0};
   return p;
 }
 
@@ -123,6 +145,17 @@ Platform ec2() {
 
   p.fs = FsModel{.read_Bps = 180e6, .write_Bps = 100e6, .open_latency_ms = 3.0,
                  .name = "NFS"};
+  // EBS-backed Lustre is possible but mediocre on cc1.4xlarge; S3 is the
+  // native store — high request latency, wide front-end pool, so aggregate
+  // bandwidth is excellent while per-file costs are the worst of the three.
+  p.storage = StorageCalib{.lustre_oss = 4,
+                           .lustre_oss_read_Bps = 120e6,
+                           .lustre_oss_write_Bps = 80e6,
+                           .lustre_mds_open_ms = 4.0,
+                           .lustre_stripe_bytes = 1 << 20,
+                           .object_frontends = 16,
+                           .object_stream_Bps = 80e6,
+                           .object_request_ms = 30.0};
   return p;
 }
 

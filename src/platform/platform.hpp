@@ -58,6 +58,21 @@ struct FsModel {
   std::string name = "NFS";
 };
 
+/// Calibration for the non-default storage backends (src/storage). The
+/// platform-native shared mount stays in FsModel above — it is the
+/// golden-compatible "nfs" backend; these numbers describe what a striped
+/// parallel FS and an S3-like object store look like from this platform.
+struct StorageCalib {
+  int lustre_oss = 4;                     ///< object storage servers
+  double lustre_oss_read_Bps = 250e6;     ///< per-OSS sustained read
+  double lustre_oss_write_Bps = 180e6;    ///< per-OSS sustained write
+  double lustre_mds_open_ms = 0.5;        ///< metadata-server open cost
+  std::size_t lustre_stripe_bytes = 1 << 20;
+  int object_frontends = 8;               ///< concurrent request front ends
+  double object_stream_Bps = 80e6;        ///< per-request stream bandwidth
+  double object_request_ms = 30.0;        ///< per-request first-byte latency
+};
+
 /// CPU / memory-system model.
 struct ComputeModel {
   double clock_ghz = 2.27;
@@ -95,6 +110,7 @@ struct Platform {
   NicModel nic;
   ShmModel shm;
   FsModel fs;
+  StorageCalib storage;
   std::string interconnect;
 
   [[nodiscard]] int total_slots() const noexcept { return nodes * hw_threads_per_node; }

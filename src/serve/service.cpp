@@ -8,12 +8,16 @@
 
 #include "apps/chaste/chaste.hpp"
 #include "apps/metum/metum.hpp"
+#include "cloud/wf_sched.hpp"
 #include "npb/npb.hpp"
 #include "obs/json_writer.hpp"
 #include "obs/jsonlite.hpp"
 #include "osu/osu.hpp"
 #include "sim/event_queue.hpp"
+#include "storage/storage.hpp"
 #include "topo/topo.hpp"
+#include "wf/dag.hpp"
+#include "wf/runtime.hpp"
 
 namespace cirrus::serve {
 
@@ -55,6 +59,7 @@ mpi::JobConfig to_job_config(const core::RunRequest& req, const ExecOptions& exe
   cfg.topology.leaf_radix = req.leaf;
   cfg.placement = topo::placement_from_string(req.placement);
   cfg.scheduler = sim::scheduler_from_string(req.sched);
+  cfg.storage_backend = storage::backend_from_string(req.storage);
   cfg.enable_trace = exec.enable_trace;
   cfg.telemetry = exec.telemetry;
   cfg.lp = exec.lp;
@@ -109,6 +114,7 @@ RunOutcome execute(const core::RunRequest& req, const ExecOptions& exec) {
     cfg.topology = base.topology;
     cfg.placement = base.placement;
     cfg.scheduler = base.scheduler;
+    cfg.storage_backend = base.storage_backend;
     cfg.enable_trace = base.enable_trace;
     cfg.telemetry = base.telemetry;
     cfg.lp = base.lp;
@@ -137,6 +143,44 @@ RunOutcome execute(const core::RunRequest& req, const ExecOptions& exec) {
     cfg.name = "chaste";
     auto out = run_with_faults(cfg, req, [](mpi::RankEnv& env) { chaste::run(env); });
     out.display_name = "Chaste rabbit heart on " + req.platform;
+    return out;
+  }
+  if (req.workload == "wf") {
+    auto cfg = to_job_config(req, exec);
+    wf::GenOptions gen;
+    gen.shape = wf::shape_from_string(req.wf_shape);
+    gen.width = req.wf_width;
+    gen.seed = req.seed;
+    const wf::Dag dag = wf::generate(gen);
+    // np is the worker count; the runtime adds the master rank itself.
+    const auto costs = cloud::WfCostModel::estimate(
+        cfg.platform, storage::model_for(cfg.platform, cfg.storage_backend));
+    const wf::Plan plan = cloud::plan_workflow(
+        dag, req.np, cloud::wf_policy_from_string(req.wf_sched), costs);
+    wf::Result res = wf::run(dag, plan, cfg);
+
+    RunOutcome out;
+    out.result = std::move(res.job);
+    auto& v = out.result.values;
+    v["wf_tasks"] = static_cast<double>(res.tasks);
+    v["wf_makespan_s"] = res.makespan_s;
+    v["wf_predicted_s"] = plan.predicted_makespan_s;
+    v["wf_staged_files"] = static_cast<double>(res.staged_files);
+    v["wf_staged_mb"] = static_cast<double>(res.staged_bytes) / 1e6;
+    v["wf_scratch_hits"] = static_cast<double>(res.scratch_hits);
+    v["wf_scratch_mb"] = static_cast<double>(res.scratch_bytes) / 1e6;
+    if (req.platform == "ec2") {
+      const auto placement = plat::place_block(cfg.platform, req.np + 1,
+                                               cfg.max_ranks_per_node, cfg.traits, cfg.seed);
+      int instances = 1;
+      for (const auto& p : placement) instances = std::max(instances, p.node + 1);
+      const auto price = cloud::price_workflow("cc1.4xlarge", instances,
+                                               /*placement_group=*/true, res.makespan_s,
+                                               req.seed);
+      v["wf_cost_usd"] = price.cost_usd;
+    }
+    out.display_name = "wf " + dag.name + " (" + req.wf_sched + ", " +
+                       out.result.storage_name + ") on " + req.platform;
     return out;
   }
   throw std::invalid_argument("execute: workload '" + req.workload +
@@ -187,6 +231,15 @@ std::string query_json(const core::RunRequest& req) {
   w.key("events").value(static_cast<unsigned long long>(r.events_processed));
   w.key("values").begin_object();
   for (const auto& [k, v] : r.values) w.key(k).value(v);  // std::map: sorted
+  w.end_object();
+  w.key("storage").begin_object();
+  w.key("backend").value(r.storage_name);
+  w.key("reads").value(static_cast<unsigned long long>(r.storage_stats.reads));
+  w.key("writes").value(static_cast<unsigned long long>(r.storage_stats.writes));
+  w.key("bytes_read").value(static_cast<unsigned long long>(r.storage_stats.bytes_read));
+  w.key("bytes_written").value(static_cast<unsigned long long>(r.storage_stats.bytes_written));
+  w.key("busy_s").value(static_cast<double>(r.storage_stats.busy) / 1e9);
+  w.key("queued_s").value(static_cast<double>(r.storage_stats.queued) / 1e9);
   w.end_object();
   if (out.resilient_used) {
     const auto& f = out.resilient;

@@ -1,0 +1,202 @@
+#include "wf/runtime.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+namespace cirrus::wf {
+
+namespace {
+
+constexpr int kTagHeader = 1;  ///< master -> worker: {task_id, n_remote_files}
+constexpr int kTagSizes = 2;   ///< master -> worker: remote file sizes
+constexpr int kTagDone = 3;    ///< worker -> master: {task_id, worker}
+constexpr std::uint64_t kExit = ~0ULL;
+
+void worker_loop(mpi::RankEnv& env, const Dag& dag) {
+  mpi::Comm& comm = env.world();
+  for (;;) {
+    std::uint64_t hdr[2];
+    comm.recv(0, kTagHeader, hdr, 2);
+    if (hdr[0] == kExit) break;
+    const Task& t = dag.tasks[static_cast<std::size_t>(hdr[0])];
+    std::vector<std::uint64_t> sizes(hdr[1]);
+    if (!sizes.empty()) comm.recv(0, kTagSizes, sizes.data(), sizes.size());
+    env.annotate("task:" + t.name);
+    for (const std::uint64_t bytes : sizes) env.io_read(bytes, /*open_file=*/true);
+    env.compute(t.ref_seconds);
+    if (t.out_bytes > 0) env.io_write(t.out_bytes, /*open_file=*/true);
+    const std::uint64_t done[2] = {hdr[0], static_cast<std::uint64_t>(comm.rank() - 1)};
+    comm.send(0, kTagDone, done, 2);
+  }
+}
+
+/// Dependency bookkeeping plus scratch-locality accounting. Lives on the
+/// master fiber only; `res` counters are written exclusively here.
+class Master {
+ public:
+  Master(const Dag& dag, const Plan& plan, std::vector<int> node_of, Result& res)
+      : dag_(dag),
+        plan_(plan),
+        node_of_(std::move(node_of)),
+        res_(res),
+        dynamic_(plan.worker_of.empty()),
+        indeg_(static_cast<std::size_t>(dag.n_tasks())),
+        dispatched_(static_cast<std::size_t>(dag.n_tasks()), 0),
+        ran_on_(static_cast<std::size_t>(dag.n_tasks()), -1),
+        busy_(static_cast<std::size_t>(plan.workers), 0) {
+    for (const Task& t : dag_.tasks) indeg_[static_cast<std::size_t>(t.id)] =
+        static_cast<int>(t.deps.size());
+    std::vector<int> order = plan_.order;
+    if (order.empty()) {
+      order.resize(static_cast<std::size_t>(dag_.n_tasks()));
+      for (int i = 0; i < dag_.n_tasks(); ++i) order[static_cast<std::size_t>(i)] = i;
+    }
+    if (dynamic_) {
+      queue_.assign(1, std::move(order));
+    } else {
+      queue_.assign(static_cast<std::size_t>(plan_.workers), {});
+      for (const int id : order) {
+        queue_[static_cast<std::size_t>(plan_.worker_of[static_cast<std::size_t>(id)])]
+            .push_back(id);
+      }
+    }
+  }
+
+  void operator()(mpi::RankEnv& env) {
+    mpi::Comm& comm = env.world();
+    int remaining = dag_.n_tasks();
+    dispatch_idle(comm);
+    while (remaining > 0) {
+      std::uint64_t done[2];
+      comm.recv(mpi::kAnySource, kTagDone, done, 2);
+      busy_[static_cast<std::size_t>(done[1])] = 0;
+      --remaining;
+      for (const int s : dag_.succs[static_cast<std::size_t>(done[0])]) {
+        --indeg_[static_cast<std::size_t>(s)];
+      }
+      dispatch_idle(comm);
+    }
+    for (int w = 0; w < plan_.workers; ++w) {
+      const std::uint64_t hdr[2] = {kExit, 0};
+      comm.send(w + 1, kTagHeader, hdr, 2);
+    }
+    res_.tasks = static_cast<std::uint64_t>(dag_.n_tasks());
+  }
+
+ private:
+  [[nodiscard]] bool ready(int t) const {
+    return indeg_[static_cast<std::size_t>(t)] == 0 && dispatched_[static_cast<std::size_t>(t)] == 0;
+  }
+
+  /// Scans idle workers in ascending index; each takes the first ready task
+  /// in its queue (its own under HEFT, the shared queue under FIFO).
+  void dispatch_idle(mpi::Comm& comm) {
+    for (int w = 0; w < plan_.workers; ++w) {
+      if (busy_[static_cast<std::size_t>(w)] != 0) continue;
+      std::vector<int>& q = queue_[dynamic_ ? 0 : static_cast<std::size_t>(w)];
+      const auto it = std::find_if(q.begin(), q.end(), [this](int t) { return ready(t); });
+      if (it == q.end()) continue;
+      const int t = *it;
+      q.erase(it);
+      dispatch(comm, w, t);
+    }
+  }
+
+  void dispatch(mpi::Comm& comm, int w, int t) {
+    const Task& task = dag_.tasks[static_cast<std::size_t>(t)];
+    std::vector<std::uint64_t> sizes;
+    if (task.ext_in_bytes > 0) {
+      sizes.push_back(task.ext_in_bytes);
+      ++res_.staged_files;
+      res_.staged_bytes += task.ext_in_bytes;
+    }
+    for (const int d : task.deps) {
+      const std::uint64_t bytes = dag_.tasks[static_cast<std::size_t>(d)].out_bytes;
+      const int producer = ran_on_[static_cast<std::size_t>(d)];
+      if (node_of_[static_cast<std::size_t>(producer)] == node_of_[static_cast<std::size_t>(w)]) {
+        ++res_.scratch_hits;
+        res_.scratch_bytes += bytes;
+      } else {
+        sizes.push_back(bytes);
+        ++res_.staged_files;
+        res_.staged_bytes += bytes;
+      }
+    }
+    const std::uint64_t hdr[2] = {static_cast<std::uint64_t>(t), sizes.size()};
+    comm.send(w + 1, kTagHeader, hdr, 2);
+    if (!sizes.empty()) comm.send(w + 1, kTagSizes, sizes.data(), sizes.size());
+    busy_[static_cast<std::size_t>(w)] = 1;
+    dispatched_[static_cast<std::size_t>(t)] = 1;
+    ran_on_[static_cast<std::size_t>(t)] = w;
+  }
+
+  const Dag& dag_;
+  const Plan& plan_;
+  std::vector<int> node_of_;  ///< worker index -> node
+  Result& res_;
+  bool dynamic_;
+  std::vector<int> indeg_;
+  std::vector<char> dispatched_;
+  std::vector<int> ran_on_;
+  std::vector<char> busy_;
+  /// One queue per worker (HEFT), or a single shared queue (FIFO).
+  std::vector<std::vector<int>> queue_;
+};
+
+void validate(const Dag& dag, const Plan& plan) {
+  if (plan.workers < 1) throw std::invalid_argument("wf plan: workers must be >= 1");
+  const std::size_t n = static_cast<std::size_t>(dag.n_tasks());
+  if (n == 0) throw std::invalid_argument("wf plan: empty dag");
+  if (!plan.worker_of.empty()) {
+    if (plan.worker_of.size() != n) {
+      throw std::invalid_argument("wf plan: worker_of size mismatch");
+    }
+    for (const int w : plan.worker_of) {
+      if (w < 0 || w >= plan.workers) throw std::invalid_argument("wf plan: worker out of range");
+    }
+  }
+  if (!plan.order.empty()) {
+    if (plan.order.size() != n) throw std::invalid_argument("wf plan: order size mismatch");
+    std::vector<char> seen(n, 0);
+    for (const int t : plan.order) {
+      if (t < 0 || static_cast<std::size_t>(t) >= n || seen[static_cast<std::size_t>(t)] != 0) {
+        throw std::invalid_argument("wf plan: order is not a permutation");
+      }
+      seen[static_cast<std::size_t>(t)] = 1;
+    }
+  }
+}
+
+}  // namespace
+
+Result run(const Dag& dag, const Plan& plan, const mpi::JobConfig& base_cfg) {
+  validate(dag, plan);
+
+  mpi::JobConfig cfg = base_cfg;
+  cfg.np = plan.workers + 1;
+  if (cfg.name == "job") cfg.name = "wf-" + dag.name;
+
+  // Replicate the job's deterministic placement so the master knows which
+  // node each worker rank lands on (rank 0 is the master itself).
+  const std::vector<plat::RankPlacement> placement =
+      plat::place_block(cfg.platform, cfg.np, cfg.max_ranks_per_node, cfg.traits, cfg.seed);
+  std::vector<int> node_of(static_cast<std::size_t>(plan.workers));
+  for (int w = 0; w < plan.workers; ++w) {
+    node_of[static_cast<std::size_t>(w)] = placement[static_cast<std::size_t>(w) + 1].node;
+  }
+
+  Result res;
+  Master master(dag, plan, std::move(node_of), res);
+  res.job = mpi::run_job(cfg, [&](mpi::RankEnv& env) {
+    if (env.rank() == 0) {
+      master(env);
+    } else {
+      worker_loop(env, dag);
+    }
+  });
+  res.makespan_s = res.job.elapsed_seconds;
+  return res;
+}
+
+}  // namespace cirrus::wf

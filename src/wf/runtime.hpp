@@ -1,0 +1,57 @@
+// Workflow runtime: executes a wf::Dag on the simulated machine as a
+// master/worker job over minimpi.
+//
+// Rank 0 is the master; it holds the dependency state and hands ready tasks
+// to workers over point-to-point messages. A worker stages each input file
+// it cannot find in node-local scratch through the job's storage backend
+// (RankEnv::io_read), charges the task's compute weight, writes the output
+// file back to shared storage, and reports completion. Dependency files are
+// free when producer and consumer landed on the same node — that locality
+// credit is what makes data-aware schedules win on object stores, where
+// every remote file pays a per-request latency.
+//
+// The master services completions in simulator arrival order and scans
+// workers and queues in ascending index order, so a given (dag, plan,
+// config) always replays the same event stream — workflow runs carry the
+// same bit-exact determinism guarantee as the SPMD workloads.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "mpi/minimpi.hpp"
+#include "wf/dag.hpp"
+
+namespace cirrus::wf {
+
+/// A schedule mapping a DAG onto a worker pool. Produced by the planners in
+/// cloud/wf_sched.hpp (HEFT / FIFO); plain data so wf itself stays
+/// independent of the cloud layer.
+struct Plan {
+  int workers = 1;
+  /// Static task -> worker assignment, size n_tasks (HEFT). Empty: dynamic
+  /// FIFO — the master hands each ready task to the lowest idle worker.
+  std::vector<int> worker_of;
+  /// Dispatch priority: task ids, most urgent first. Empty: ascending id.
+  std::vector<int> order;
+  /// The planner's makespan estimate (0 when the policy does not predict).
+  double predicted_makespan_s = 0;
+};
+
+/// Outcome of one workflow execution.
+struct Result {
+  mpi::JobResult job;          ///< the underlying simulated job
+  double makespan_s = 0;       ///< virtual wall clock of the whole workflow
+  std::uint64_t tasks = 0;     ///< tasks executed
+  std::uint64_t staged_files = 0;  ///< input files read through the backend
+  std::uint64_t staged_bytes = 0;
+  std::uint64_t scratch_hits = 0;  ///< dependency files served from scratch
+  std::uint64_t scratch_bytes = 0;
+};
+
+/// Runs `dag` under `plan` on `base_cfg`'s platform/storage. `base_cfg.np`
+/// is ignored: the job uses plan.workers + 1 ranks (rank 0 master). Throws
+/// std::invalid_argument on a malformed plan.
+Result run(const Dag& dag, const Plan& plan, const mpi::JobConfig& base_cfg);
+
+}  // namespace cirrus::wf

@@ -1,0 +1,24 @@
+# Asserts a CLI binary rejects an unknown flag: exit code 2 and a usage
+# string on stderr. Driven from examples/CMakeLists.txt:
+#   cmake -DBIN=<path> -DFLAG=--bogus -P cli_reject.cmake
+if(NOT DEFINED BIN OR NOT DEFINED FLAG)
+  message(FATAL_ERROR "cli_reject.cmake needs -DBIN=<binary> -DFLAG=<flag>")
+endif()
+
+execute_process(
+  COMMAND ${BIN} ${FLAG}
+  RESULT_VARIABLE rc
+  OUTPUT_VARIABLE out
+  ERROR_VARIABLE err
+)
+
+if(NOT rc EQUAL 2)
+  message(FATAL_ERROR "${BIN} ${FLAG}: expected exit code 2, got ${rc}")
+endif()
+string(TOLOWER "${out}${err}" all)
+if(NOT all MATCHES "usage")
+  message(FATAL_ERROR "${BIN} ${FLAG}: no usage text in output:\n${out}${err}")
+endif()
+if(NOT all MATCHES "unknown")
+  message(FATAL_ERROR "${BIN} ${FLAG}: error does not name the unknown option:\n${out}${err}")
+endif()

@@ -25,7 +25,7 @@ using KVs = std::vector<std::pair<std::string, std::string>>;
 TEST(RequestKey, AllKnobsPresentAndSorted) {
   const RunRequest req;
   const auto items = req.items();
-  ASSERT_EQ(items.size(), 18U);
+  ASSERT_EQ(items.size(), 22U);
   EXPECT_TRUE(std::is_sorted(items.begin(), items.end(),
                              [](const auto& a, const auto& b) { return a.first < b.first; }));
   const std::string key = req.canonical_key();
@@ -76,6 +76,32 @@ TEST(RequestKey, IrrelevantBenchDoesNotSplitTheCache) {
   EXPECT_EQ(a.canonical_key(), b.canonical_key());
 }
 
+TEST(RequestKey, StorageAndWfKnobsCanonicalise) {
+  RunRequest a, b;
+  std::string error;
+  // "s3" is an alias spelling of the object backend.
+  ASSERT_TRUE(RunRequest::parse({{"storage", "s3"}}, a, &error)) << error;
+  ASSERT_TRUE(RunRequest::parse({{"storage", "Object"}}, b, &error)) << error;
+  EXPECT_EQ(a.canonical_key(), b.canonical_key());
+  // OSU microbenchmarks never touch the filesystem: storage must not split
+  // their cache entries.
+  RunRequest c, d;
+  ASSERT_TRUE(RunRequest::parse({{"workload", "osu"}, {"bench", "bw"}}, c, &error)) << error;
+  ASSERT_TRUE(
+      RunRequest::parse({{"workload", "osu"}, {"bench", "bw"}, {"storage", "lustre"}}, d, &error))
+      << error;
+  EXPECT_EQ(c.canonical_key(), d.canonical_key());
+  // wf-* knobs are pinned for non-workflow workloads.
+  RunRequest e, f;
+  ASSERT_TRUE(RunRequest::parse({{"workload", "metum"}}, e, &error)) << error;
+  ASSERT_TRUE(RunRequest::parse({{"workload", "metum"}, {"wf-shape", "diamond"}}, f, &error))
+      << error;
+  EXPECT_EQ(e.canonical_key(), f.canonical_key());
+  // Workflows reject fault injection (no checkpoint semantics for DAG tasks).
+  RunRequest g;
+  EXPECT_FALSE(RunRequest::parse({{"workload", "wf"}, {"mtbf", "3600"}}, g, &error));
+}
+
 TEST(RequestKey, EveryKnobChangesTheKey) {
   // Collision test across the full knob space: every legal value of every
   // enum knob, plus representative numeric values, must give distinct keys.
@@ -114,6 +140,12 @@ TEST(RequestKey, EveryKnobChangesTheKey) {
   for (const char* ck : {"300", "600"}) insert_distinct({{"ckpt", ck}});
   insert_distinct({{"requeue", "120"}});
   insert_distinct({{"horizon", "86400"}});
+  for (const char* s : {"lustre", "object"}) insert_distinct({{"storage", s}});
+  insert_distinct({{"workload", "wf"}});
+  insert_distinct({{"workload", "wf"}, {"wf-shape", "diamond"}});
+  insert_distinct({{"workload", "wf"}, {"wf-shape", "epigenomics"}});
+  insert_distinct({{"workload", "wf"}, {"wf-sched", "fifo"}});
+  insert_distinct({{"workload", "wf"}, {"wf-width", "12"}});
 }
 
 TEST(RequestKey, RejectsUnknownAndMalformed) {
@@ -179,6 +211,30 @@ TEST(ResultCache, HitEqualsRecompute) {
   ASSERT_TRUE(cached.has_value());
   const std::string recomputed = cirrus::serve::query_json(req);
   EXPECT_EQ(*cached, recomputed) << "cache hit must be byte-identical to recompute";
+}
+
+TEST(ResultCache, WfHitEqualsRecompute) {
+  // Same contract for the workflow branch: a warm hit for a wf what-if must
+  // be byte-identical to recomputing the whole DAG simulation.
+  RunRequest req;
+  req.workload = "wf";
+  req.wf_shape = "montage";
+  req.wf_sched = "heft";
+  req.platform = "ec2";
+  req.storage = "object";
+  req.np = 8;
+  std::string error;
+  ASSERT_TRUE(req.validate(&error)) << error;
+
+  const std::string first = cirrus::serve::query_json(req);
+  EXPECT_NE(first.find("wf_makespan_s"), std::string::npos);
+  EXPECT_NE(first.find("\"storage\""), std::string::npos);
+  ResultCache cache({.capacity = 8, .spill_dir = ""});
+  cache.put(req.canonical_key(), first);
+
+  const auto cached = cache.get(req.canonical_key());
+  ASSERT_TRUE(cached.has_value());
+  EXPECT_EQ(*cached, cirrus::serve::query_json(req));
 }
 
 TEST(ResultCache, SpillDirectorySurvivesRestart) {
