@@ -18,7 +18,7 @@ std::vector<Target>& mutable_targets() {
 int canonical_index(std::string_view name) {
   static constexpr std::array kOrder = {"fig1", "fig2", "fig3", "fig4", "tab2", "fig5",
                                         "fig6", "tab3", "fig7", "ext1", "ext2", "ext3",
-                                        "ext4", "ext5", "ext6", "ext7"};
+                                        "ext4", "ext5", "ext6", "ext7", "ext8"};
   for (std::size_t i = 0; i < kOrder.size(); ++i) {
     if (name == kOrder[i]) return static_cast<int>(i);
   }

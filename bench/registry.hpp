@@ -21,9 +21,12 @@ using TargetFn = int (*)(const cirrus::core::Options& opts, cirrus::valid::RunRe
 
 struct Target {
   const char* name;         ///< registry id: "fig1", "tab2", "ext5", ...
-  const char* suite;        ///< "paper" (fig/tab) or "ext"
+  const char* suite;        ///< "paper" (fig/tab), "ext" or "gap"
   const char* description;  ///< one line, shown by `cirrus_bench --list`
   TargetFn fn;
+  /// Platform generations the target sweeps: "2012" for the paper-era
+  /// studies, "2012+2020" for cross-generation suites (--list-targets).
+  const char* generations = "2012";
 };
 
 /// All registered targets, sorted into canonical paper order
@@ -47,5 +50,14 @@ int register_target(const Target& t);
                             cirrus::valid::RunReport& report);                     \
   [[maybe_unused]] static const int id##_registered =                              \
       cirrus::bench::register_target({#id, suite_, desc, &id##_target_fn});        \
+  static int id##_target_fn([[maybe_unused]] const cirrus::core::Options& opts,    \
+                            [[maybe_unused]] cirrus::valid::RunReport& report)
+
+/// Like CIRRUS_BENCH_TARGET, with explicit generation coverage ("2012+2020").
+#define CIRRUS_BENCH_TARGET_GEN(id, suite_, gens, desc)                            \
+  static int id##_target_fn(const cirrus::core::Options& opts,                     \
+                            cirrus::valid::RunReport& report);                     \
+  [[maybe_unused]] static const int id##_registered =                              \
+      cirrus::bench::register_target({#id, suite_, desc, &id##_target_fn, gens});  \
   static int id##_target_fn([[maybe_unused]] const cirrus::core::Options& opts,    \
                             [[maybe_unused]] cirrus::valid::RunReport& report)

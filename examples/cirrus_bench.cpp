@@ -2,7 +2,9 @@
 // bench, with paper-fidelity checking and a machine-readable run manifest.
 //
 //   cirrus_bench --list                     # what can run
+//   cirrus_bench --list-targets             # + generation coverage, sorted
 //   cirrus_bench --suite paper --check      # rerun the paper, gate on refs
+//   cirrus_bench --suite gap --check        # cross-generation gap trend
 //   cirrus_bench --targets fig1,fig4        # just these targets
 //   cirrus_bench --suite paper,perf --check --manifest out.json
 //                                           # CI: checks + JSON artifact,
@@ -10,7 +12,7 @@
 //                                           # BENCH_simulator.json in
 //   cirrus_bench --suite paper --write-ref  # regenerate reference tables
 //
-// Flags: --suite paper|ext|perf|all (comma-separated, default paper),
+// Flags: --suite paper|ext|gap|perf|all (comma-separated, default paper),
 // --targets a,b,c (overrides --suite target selection), --check, --ref FILE,
 // --manifest [FILE], --write-ref [FILE], --perf-json FILE, --jobs N,
 // --seed N (both forwarded to every target), --verbose (all check rows, not
@@ -54,7 +56,8 @@ std::vector<std::string> split_csv(const std::string& s) {
 
 int usage(int rc) {
   std::fprintf(rc == 0 ? stdout : stderr,
-               "usage: cirrus_bench [--list] [--suite paper|ext|perf|all[,...]]\n"
+               "usage: cirrus_bench [--list] [--list-targets]\n"
+               "                    [--suite paper|ext|gap|perf|all[,...]]\n"
                "                    [--targets a,b,c] [--check] [--ref FILE]\n"
                "                    [--manifest [FILE]] [--write-ref [FILE]]\n"
                "                    [--perf-json FILE] [--jobs N] [--seed N]\n"
@@ -68,8 +71,9 @@ int main(int argc, char** argv) try {
   const core::Options opts(argc, argv);
   if (opts.has("help")) return usage(0);
   if (const auto bad = core::unknown_keys(
-          opts, {"help", "list", "suite", "targets", "check", "ref", "manifest",
-                 "write-ref", "perf-json", "jobs", "seed", "lp", "sched", "verbose"});
+          opts, {"help", "list", "list-targets", "suite", "targets", "check", "ref",
+                 "manifest", "write-ref", "perf-json", "jobs", "seed", "lp", "sched",
+                 "verbose"});
       !bad.empty()) {
     std::fprintf(stderr, "cirrus_bench: unknown option --%s\n", bad.front().c_str());
     return usage(2);
@@ -93,6 +97,23 @@ int main(int argc, char** argv) try {
     return 0;
   }
 
+  if (opts.has("list-targets")) {
+    // Machine-friendly variant: sorted by name (not canonical paper order)
+    // so the output is diffable, with suite membership and the platform
+    // generations each target covers.
+    std::vector<const bench::Target*> sorted;
+    for (const auto& tgt : bench::all_targets()) sorted.push_back(&tgt);
+    std::sort(sorted.begin(), sorted.end(), [](const bench::Target* a, const bench::Target* b) {
+      return std::string_view(a->name) < std::string_view(b->name);
+    });
+    core::Table t({"target", "suite", "generations", "description"});
+    for (const auto* tgt : sorted) {
+      t.row().add(tgt->name).add(tgt->suite).add(tgt->generations).add(tgt->description);
+    }
+    std::printf("%s", t.str().c_str());
+    return 0;
+  }
+
   // --- select what to run -------------------------------------------------
   const std::vector<std::string> suites = split_csv(opts.get_or("suite", "paper"));
   bool want_perf = false;
@@ -103,7 +124,7 @@ int main(int argc, char** argv) try {
       want_perf = true;
     } else if (s == "all") {
       want_all = want_perf = true;
-    } else if (s == "paper" || s == "ext") {
+    } else if (s == "paper" || s == "ext" || s == "gap") {
       registry_suites.push_back(s);
     } else {
       std::fprintf(stderr, "cirrus_bench: unknown suite '%s'\n", s.c_str());

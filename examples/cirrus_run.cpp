@@ -2,12 +2,15 @@
 // platform configuration from the command line.
 //
 //   cirrus_run npb    --bench CG --class B --platform vayu --np 32 [--execute]
+//   cirrus_run npb    --bench CG --class B --platform vayu --gen 2020 --np 32
 //   cirrus_run osu    --test bw|lat --platform dcc
 //   cirrus_run metum  --platform ec2 --np 32 --rpn 8
 //   cirrus_run chaste --platform dcc --np 16
 //   cirrus_run wf     --wf-shape montage --storage object --np 8 --platform ec2
 //
-// Common options: --platform vayu|dcc|ec2  --np N  --rpn ranks-per-node
+// Common options: --platform vayu|dcc|ec2|vayu2020|ec2_2020  --gen 2012|2020
+//                 (generation qualifier: "--platform vayu --gen 2020" runs on
+//                 the gen-2020 model of that machine)  --np N  --rpn ranks-per-node
 //                 --seed S  --execute  --eager BYTES  --ipm (full summary)
 //                 --trace FILE (write a chrome://tracing JSON span trace;
 //                 with --metrics the trace gains counter tracks, fault
@@ -51,7 +54,8 @@ using namespace cirrus;
 
 int usage(const char* prog) {
   std::fprintf(stderr,
-               "usage: %s npb|osu|metum|chaste|wf [--platform vayu|dcc|ec2] [--np N]\n"
+               "usage: %s npb|osu|metum|chaste|wf [--platform vayu|dcc|ec2|vayu2020|ec2_2020]\n"
+               "        [--gen 2012|2020] [--np N]\n"
                "  npb:    --bench BT|EP|CG|FT|IS|LU|MG|SP --class T|S|W|A|B|C [--execute]\n"
                "  osu:    --test bw|lat\n"
                "  wf:     --wf-shape diamond|montage|epigenomics|broadband --wf-width W\n"
@@ -180,7 +184,10 @@ int run_job_mode(const std::string& mode, const core::Options& opts) {
 }
 
 int run_osu(const core::Options& opts) {
-  const auto platform = plat::by_name(opts.get_or("platform", "vayu"));
+  // Route through RunRequest so --gen folding and validation match /query.
+  auto req = core::RunRequest::from_options(opts);
+  req.workload = "osu";
+  const auto platform = plat::by_name(req.resolved_platform());
   const std::string test = opts.get_or("test", "bw");
   if (test != "bw" && test != "lat") {
     std::fprintf(stderr, "error: --test bw|lat expected, got '%s'\n", test.c_str());
@@ -206,8 +213,8 @@ int run_osu(const core::Options& opts) {
 int main(int argc, char** argv) {
   const core::Options opts(argc, argv);
   if (const auto bad = core::unknown_keys(
-          opts, {"platform", "np",        "rpn",     "seed",    "execute", "eager",
-                 "ipm",      "trace",     "metrics", "sample-dt", "metrics-csv",
+          opts, {"platform", "gen",       "np",      "rpn",     "seed",    "execute",
+                 "eager",    "ipm",       "trace",   "metrics", "sample-dt", "metrics-csv",
                  "topo",     "oversub",   "leaf",    "placement", "mtbf",
                  "ckpt",     "requeue",   "horizon", "lp",        "sched",
                  "bench",    "class",     "test",    "storage",   "wf-shape",
@@ -223,6 +230,11 @@ int main(int argc, char** argv) {
     if (mode == "npb" || mode == "metum" || mode == "chaste" || mode == "wf") {
       return run_job_mode(mode, opts);
     }
+  } catch (const std::invalid_argument& e) {
+    // Bad knob values (unknown platform, gen conflict, ...) are usage errors:
+    // rc 2 like the unknown-flag path, not a generic failure.
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;

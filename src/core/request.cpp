@@ -91,7 +91,7 @@ std::vector<std::pair<std::string, std::string>> RunRequest::items() const {
       {"np", std::to_string(np)},
       {"oversub", num(oversub)},
       {"placement", lower(placement)},
-      {"platform", lower(platform)},
+      {"platform", resolved_platform()},
       {"requeue", num(requeue_s)},
       {"rpn", std::to_string(rpn)},
       {"sched", lower(sched)},
@@ -103,6 +103,22 @@ std::vector<std::pair<std::string, std::string>> RunRequest::items() const {
       {"wf-width", is_wf ? std::to_string(wf_width) : std::string("-")},
       {"workload", lower(workload)},
   };
+}
+
+std::string RunRequest::resolved_platform() const {
+  const std::string base = lower(platform);
+  // `gen` only ever *upgrades* a base name; asking for gen=2012 with an
+  // already-2020-qualified name is a conflict that validate() rejects.
+  if (gen == 2020) {
+    if (base == "vayu") return "vayu2020";
+    if (base == "ec2") return "ec2_2020";
+  }
+  return base;
+}
+
+int RunRequest::generation() const {
+  const std::string p = resolved_platform();
+  return (p == "vayu2020" || p == "ec2_2020") ? 2020 : 2012;
 }
 
 std::string RunRequest::canonical_key() const {
@@ -141,6 +157,11 @@ bool RunRequest::set(const std::string& key, const std::string& value, std::stri
     cls = upper(value);
   } else if (key == "platform") {
     platform = lower(value);
+  } else if (key == "gen") {
+    if (!parse_int(value, i) || (i != 2012 && i != 2020)) {
+      return fail(error, "gen: 2012|2020 expected");
+    }
+    gen = static_cast<int>(i);
   } else if (key == "np") {
     if (!want_int(1, 1 << 20)) return fail(error, "np: positive integer expected");
     np = static_cast<int>(i);
@@ -244,8 +265,19 @@ bool RunRequest::validate(std::string* error) const {
   if (workload == "osu" && !one_of(lower(bench), {"bw", "lat"})) {
     return fail(error, "bench: bw|lat expected for osu, got '" + bench + "'");
   }
-  if (!one_of(platform, {"vayu", "dcc", "ec2"})) {
-    return fail(error, "platform: vayu|dcc|ec2 expected, got '" + platform + "'");
+  if (!one_of(platform, {"vayu", "dcc", "ec2", "vayu2020", "ec2_2020"})) {
+    return fail(error,
+                "platform: vayu|dcc|ec2|vayu2020|ec2_2020 expected, got '" + platform + "'");
+  }
+  if (gen != 0 && gen != 2012 && gen != 2020) {
+    return fail(error, "gen: 2012|2020 expected");
+  }
+  const bool name_is_2020 = platform == "vayu2020" || platform == "ec2_2020";
+  if (gen == 2012 && name_is_2020) {
+    return fail(error, "gen: 2012 conflicts with gen-2020 platform '" + platform + "'");
+  }
+  if (gen == 2020 && platform == "dcc") {
+    return fail(error, "gen: platform dcc has no gen-2020 model");
   }
   if (!one_of(topo, {"crossbar", "fattree", "vswitch", "pgroups"})) {
     return fail(error, "topo: crossbar|fattree|vswitch|pgroups expected, got '" + topo + "'");

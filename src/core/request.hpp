@@ -29,7 +29,14 @@ struct RunRequest {
   std::string workload = "npb";    ///< npb | osu | metum | chaste | wf
   std::string bench = "CG";        ///< npb: BT|EP|CG|FT|IS|LU|MG|SP; osu: bw|lat
   std::string cls = "S";           ///< npb class letter (T|S|W|A|B|C)
-  std::string platform = "vayu";   ///< vayu | dcc | ec2
+  std::string platform = "vayu";   ///< vayu | dcc | ec2 | vayu2020 | ec2_2020
+  /// Platform generation selector: 0 follows the platform name as given,
+  /// 2020 upgrades a base name to its gen-2020 model ("vayu" -> "vayu2020"),
+  /// 2012 pins the study generation. The key grammar folds this into the
+  /// `platform` value (see resolved_platform), so `{platform=vayu, gen=2020}`
+  /// and `{platform=vayu2020}` canonicalise identically and every gen-2012
+  /// key stays byte-identical to what it was before generations existed.
+  int gen = 0;
   int np = 8;
   int rpn = -1;                    ///< max ranks per node (-1: fill the node)
   std::uint64_t seed = 1;
@@ -59,6 +66,13 @@ struct RunRequest {
 
   /// The canonical key split back into (key, value) pairs.
   [[nodiscard]] std::vector<std::pair<std::string, std::string>> items() const;
+
+  /// The generation-qualified platform name the simulation actually runs on
+  /// (`gen` folded into the name): this is what the key grammar emits and
+  /// what front ends should hand to plat::by_name.
+  [[nodiscard]] std::string resolved_platform() const;
+  /// Hardware generation of resolved_platform(): 2012 or 2020.
+  [[nodiscard]] int generation() const;
 
   /// Applies one `key=value` pair (the serve/query grammar; also used by
   /// from_options). Unknown key or malformed value: returns false and sets

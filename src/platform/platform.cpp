@@ -159,6 +159,112 @@ Platform ec2() {
   return p;
 }
 
+Platform vayu2020() {
+  Platform p;
+  p.name = "vayu2020";
+  p.generation = 2020;
+  p.nodes = 3024;  // Gadi-class machine (Vayu's successor at the same site)
+  p.cores_per_node = 48;
+  p.hw_threads_per_node = 48;
+  p.sockets_per_node = 2;
+  p.mem_per_node_GB = 192.0;
+  p.interconnect = "100 Gb/s IB fat-tree";
+
+  // clock_ghz is an *effective* clock relative to the E5520 reference core:
+  // 3.2 GHz Cascade Lake x ~2.1 per-clock throughput (AVX-512 + FMA + wider
+  // issue) on the mixed paper workloads.
+  p.compute.clock_ghz = 6.7;
+  p.compute.mem_speed = 3.0;  // 6-channel DDR4-2933 per core vs DDR3-800
+  p.compute.virt_overhead = 1.0;
+  p.compute.has_smt = false;
+  p.compute.numa_masked = false;
+  p.compute.jitter_sigma = 0.003;  // lean compute-node OS, core specialisation
+  p.compute.mem_contention = 0.14;  // many more channels: milder roofline slope
+
+  // HDR100-class fabric: ~12 GB/s sustained p2p, ~1.1 us end to end,
+  // user-space RDMA so per-message CPU cost and system time stay tiny.
+  p.nic.bandwidth_Bps = 12e9;
+  p.nic.latency_us = 1.1;
+  p.nic.per_msg_overhead_us = 0.3;
+  p.nic.jitter_prob = 0.01;
+  p.nic.jitter_mean_us = 1.5;
+  p.nic.sys_frac = 0.05;
+  p.nic.incast_penalty = 1.8;  // adaptive routing beats Vayu's static routes
+
+  p.shm.bandwidth_Bps = 12e9;
+  p.shm.latency_us = 0.4;
+
+  p.fs = FsModel{.read_Bps = 4e9, .write_Bps = 3e9, .open_latency_ms = 0.3,
+                 .name = "Lustre"};
+  p.storage = StorageCalib{.lustre_oss = 16,
+                           .lustre_oss_read_Bps = 1.2e9,
+                           .lustre_oss_write_Bps = 0.9e9,
+                           .lustre_mds_open_ms = 0.15,
+                           .lustre_stripe_bytes = 1 << 20,
+                           .object_frontends = 16,
+                           .object_stream_Bps = 400e6,
+                           .object_request_ms = 5.0};
+  return p;
+}
+
+Platform ec2_2020() {
+  Platform p;
+  p.name = "ec2_2020";
+  p.generation = 2020;
+  p.nodes = 64;  // a c5n.18xlarge cluster placement group
+  p.cores_per_node = 36;
+  p.hw_threads_per_node = 36;  // HT disabled: ranks never share a core
+  p.sockets_per_node = 2;
+  p.mem_per_node_GB = 192.0;
+  p.interconnect = "EFA 100 Gb/s (placement group)";
+
+  // 3.0 GHz Skylake x ~2.0 per-clock throughput; Nitro offloads the
+  // hypervisor to hardware, so the virtualisation tax all but vanishes.
+  p.compute.clock_ghz = 6.0;
+  p.compute.mem_speed = 2.8;
+  p.compute.virt_overhead = 1.01;
+  p.compute.smt_speedup = 1.0;
+  p.compute.has_smt = false;
+  p.compute.numa_masked = false;  // Nitro passes the topology through
+  p.compute.jitter_sigma = 0.01;  // co-tenant noise much reduced, not gone
+  p.compute.mem_contention = 0.14;
+
+  // EFA: OS-bypass SRD transport at 100 Gb/s. Bandwidth is at near parity
+  // with the HPC fabric; base latency (~15 us through the SRD relays) is
+  // the one dimension still an order of magnitude behind.
+  p.nic.bandwidth_Bps = 11e9;
+  p.nic.latency_us = 15.5;
+  p.nic.per_msg_overhead_us = 0.5;  // user-space libfabric: no syscall per msg
+  p.nic.jitter_prob = 0.03;
+  p.nic.jitter_mean_us = 20.0;
+  p.nic.sys_frac = 0.06;  // kernel is out of the datapath
+  p.nic.half_duplex = false;
+  p.nic.incast_penalty = 1.6;  // SRD sprays flows across paths
+
+  p.shm.bandwidth_Bps = 11e9;
+  p.shm.latency_us = 0.5;
+
+  p.fs = FsModel{.read_Bps = 800e6, .write_Bps = 500e6, .open_latency_ms = 1.0,
+                 .name = "NFS"};
+  // FSx-for-Lustre-class striped FS and the native object store with a wide
+  // front-end pool and single-digit-ms first-byte latency.
+  p.storage = StorageCalib{.lustre_oss = 8,
+                           .lustre_oss_read_Bps = 400e6,
+                           .lustre_oss_write_Bps = 300e6,
+                           .lustre_mds_open_ms = 1.0,
+                           .lustre_stripe_bytes = 1 << 20,
+                           .object_frontends = 32,
+                           .object_stream_Bps = 200e6,
+                           .object_request_ms = 15.0};
+  return p;
+}
+
+const std::vector<std::string>& known_names() {
+  static const std::vector<std::string> names = {"dcc", "ec2", "ec2_2020", "vayu",
+                                                 "vayu2020"};
+  return names;
+}
+
 Platform by_name(const std::string& name) {
   std::string lower(name);
   std::transform(lower.begin(), lower.end(), lower.begin(),
@@ -166,10 +272,41 @@ Platform by_name(const std::string& name) {
   if (lower == "vayu") return vayu();
   if (lower == "dcc") return dcc();
   if (lower == "ec2") return ec2();
-  throw std::invalid_argument("unknown platform: " + name);
+  if (lower == "vayu2020") return vayu2020();
+  if (lower == "ec2_2020") return ec2_2020();
+  std::string valid;
+  for (const auto& n : known_names()) valid += (valid.empty() ? "" : ", ") + n;
+  throw std::invalid_argument("unknown platform '" + name + "' (valid: " + valid + ")");
 }
 
 std::vector<Platform> study_platforms() { return {dcc(), ec2(), vayu()}; }
+
+std::vector<Platform> generation_platforms(int generation) {
+  if (generation == 2012) return study_platforms();
+  if (generation == 2020) return {ec2_2020(), vayu2020()};
+  throw std::invalid_argument("unknown platform generation " + std::to_string(generation) +
+                              " (valid: 2012, 2020)");
+}
+
+std::vector<Platform> all_platforms() {
+  auto out = study_platforms();
+  for (auto& p : generation_platforms(2020)) out.push_back(std::move(p));
+  return out;
+}
+
+std::string generation_name(const std::string& base, int generation) {
+  const Platform p = by_name(base);  // validates + canonicalises the spelling
+  if (p.generation == generation) return p.name;
+  if (generation == 2012) {
+    if (p.name == "vayu2020") return "vayu";
+    if (p.name == "ec2_2020") return "ec2";
+  } else if (generation == 2020) {
+    if (p.name == "vayu") return "vayu2020";
+    if (p.name == "ec2") return "ec2_2020";
+  }
+  throw std::invalid_argument("platform '" + p.name + "' has no gen-" +
+                              std::to_string(generation) + " model");
+}
 
 std::vector<RankPlacement> place_block(const Platform& p, int np, int max_ranks_per_node,
                                        const WorkloadTraits& traits, std::uint64_t seed) {

@@ -9,6 +9,19 @@
 //     cores + HyperThreading = 16 schedulable slots, 10GigE placement
 //     group, NFS.
 //
+// plus their generation-2020 counterparts, calibrated against "10 Years
+// Later: Cloud Computing is Closing the Performance Gap" (Guidi et al.):
+//
+//   * vayu2020 — a Gadi-class HPC node: AVX-512-era 24-core sockets,
+//     100 Gb/s fat-tree, striped parallel FS.
+//   * ec2_2020 — a c5n.18xlarge-class instance: Nitro (near-zero virt
+//     cost), EFA OS-bypass NIC at 100 Gb/s inside a placement group,
+//     HyperThreading disabled so ranks never share a core.
+//
+// The DCC has no gen-2020 counterpart: the private-cloud tier the paper
+// measured was retired, and the 2020 re-examination compares public cloud
+// against HPC only.
+//
 // Each platform is a plain-data description; the compute model converts
 // workload "reference seconds" (calibrated on DCC's E5520) into simulated
 // time as a function of clock ratio, memory-bandwidth contention,
@@ -101,6 +114,10 @@ struct ComputeModel {
 /// A complete platform description.
 struct Platform {
   std::string name;
+  /// Hardware generation: 2012 (the paper's study platforms) or 2020 (the
+  /// "10 Years Later" refresh). Gen-2012 models are frozen — every committed
+  /// pin and determinism golden was produced on them.
+  int generation = 2012;
   int nodes = 1;
   int cores_per_node = 8;       ///< physical cores
   int hw_threads_per_node = 8;  ///< schedulable rank slots (16 on EC2: HT on)
@@ -125,10 +142,27 @@ Platform vayu();
 Platform dcc();
 /// Amazon EC2 cc1.4xlarge cluster instances (Xen, 10GigE, HyperThreading).
 Platform ec2();
-/// Lookup by case-insensitive name; throws std::invalid_argument if unknown.
+/// Gen-2020 HPC node: AVX-512-era 48-core node on a 100 Gb/s fat-tree.
+Platform vayu2020();
+/// Gen-2020 cloud instance: EFA-like OS-bypass NIC, placement-group pods,
+/// Nitro virtualisation, HyperThreading disabled.
+Platform ec2_2020();
+/// Lookup by case-insensitive name; throws std::invalid_argument whose
+/// message lists every valid name if unknown.
 Platform by_name(const std::string& name);
+/// Every name by_name accepts, sorted (the list quoted in its error).
+const std::vector<std::string>& known_names();
 /// All three study platforms, in paper order (DCC, EC2, Vayu).
 std::vector<Platform> study_platforms();
+/// The platforms of one generation in canonical order: 2012 -> the study
+/// trio, 2020 -> {ec2_2020, vayu2020}. Throws for any other generation.
+std::vector<Platform> generation_platforms(int generation);
+/// Every platform of every generation (study trio, then the 2020 pair).
+std::vector<Platform> all_platforms();
+/// The generation-qualified name of `base` ("vayu" + 2020 -> "vayu2020");
+/// identity when `base` is already of that generation. Throws
+/// std::invalid_argument when no such model exists (e.g. "dcc" + 2020).
+std::string generation_name(const std::string& base, int generation);
 
 /// How a workload stresses the machine; used by the compute model.
 struct WorkloadTraits {

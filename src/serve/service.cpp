@@ -48,7 +48,7 @@ std::string error_body(const std::string& message) {
 
 mpi::JobConfig to_job_config(const core::RunRequest& req, const ExecOptions& exec) {
   mpi::JobConfig cfg;
-  cfg.platform = plat::by_name(req.platform);
+  cfg.platform = plat::by_name(req.resolved_platform());
   cfg.np = req.np;
   cfg.max_ranks_per_node = req.rpn;
   cfg.seed = req.seed;
@@ -104,8 +104,8 @@ RunOutcome execute(const core::RunRequest& req, const ExecOptions& exec) {
   if (req.workload == "npb") {
     const auto& info = npb::benchmark(req.bench);
     const auto cls = npb::class_from_char(req.cls[0]);
-    auto cfg = npb::make_job(info, cls, plat::by_name(req.platform), req.np, req.execute,
-                             req.seed);
+    auto cfg = npb::make_job(info, cls, plat::by_name(req.resolved_platform()), req.np,
+                             req.execute, req.seed);
     // make_job fixes workload traits and np; layer the request's transport /
     // topology / engine knobs on top (same fields to_job_config sets).
     const auto base = to_job_config(req, exec);
@@ -125,8 +125,8 @@ RunOutcome execute(const core::RunRequest& req, const ExecOptions& exec) {
         env.report("verification_value", res.verification_value);
       }
     });
-    out.display_name =
-        info.name + "." + req.cls + "." + std::to_string(req.np) + " on " + req.platform;
+    out.display_name = info.name + "." + req.cls + "." + std::to_string(req.np) + " on " +
+                       req.resolved_platform();
     return out;
   }
   if (req.workload == "metum") {
@@ -134,7 +134,7 @@ RunOutcome execute(const core::RunRequest& req, const ExecOptions& exec) {
     cfg.traits = metum::traits();
     cfg.name = "metum";
     auto out = run_with_faults(cfg, req, [](mpi::RankEnv& env) { metum::run(env); });
-    out.display_name = "MetUM N320L70 on " + req.platform;
+    out.display_name = "MetUM N320L70 on " + req.resolved_platform();
     return out;
   }
   if (req.workload == "chaste") {
@@ -142,7 +142,7 @@ RunOutcome execute(const core::RunRequest& req, const ExecOptions& exec) {
     cfg.traits = chaste::traits();
     cfg.name = "chaste";
     auto out = run_with_faults(cfg, req, [](mpi::RankEnv& env) { chaste::run(env); });
-    out.display_name = "Chaste rabbit heart on " + req.platform;
+    out.display_name = "Chaste rabbit heart on " + req.resolved_platform();
     return out;
   }
   if (req.workload == "wf") {
@@ -169,7 +169,7 @@ RunOutcome execute(const core::RunRequest& req, const ExecOptions& exec) {
     v["wf_staged_mb"] = static_cast<double>(res.staged_bytes) / 1e6;
     v["wf_scratch_hits"] = static_cast<double>(res.scratch_hits);
     v["wf_scratch_mb"] = static_cast<double>(res.scratch_bytes) / 1e6;
-    if (req.platform == "ec2") {
+    if (req.resolved_platform() == "ec2") {
       const auto placement = plat::place_block(cfg.platform, req.np + 1,
                                                cfg.max_ranks_per_node, cfg.traits, cfg.seed);
       int instances = 1;
@@ -180,7 +180,7 @@ RunOutcome execute(const core::RunRequest& req, const ExecOptions& exec) {
       v["wf_cost_usd"] = price.cost_usd;
     }
     out.display_name = "wf " + dag.name + " (" + req.wf_sched + ", " +
-                       out.result.storage_name + ") on " + req.platform;
+                       out.result.storage_name + ") on " + req.resolved_platform();
     return out;
   }
   throw std::invalid_argument("execute: workload '" + req.workload +
@@ -191,10 +191,11 @@ std::string query_json(const core::RunRequest& req) {
   Writer w;
   w.begin_object();
   if (req.workload == "osu") {
-    const auto platform = plat::by_name(req.platform);
-    w.key("name").value("osu_" + req.bench + " on " + req.platform);
+    const auto platform = plat::by_name(req.resolved_platform());
+    w.key("name").value("osu_" + req.bench + " on " + req.resolved_platform());
     w.key("workload").value("osu");
-    w.key("platform").value(req.platform);
+    w.key("platform").value(req.resolved_platform());
+    w.key("generation").value(req.generation());
     w.key("points").begin_array();
     if (req.bench == "bw") {
       for (const auto& p : osu::bandwidth(platform, osu::default_sizes())) {
@@ -223,7 +224,8 @@ std::string query_json(const core::RunRequest& req) {
   const auto& r = out.result;
   w.key("name").value(out.display_name);
   w.key("workload").value(req.workload);
-  w.key("platform").value(req.platform);
+  w.key("platform").value(req.resolved_platform());
+  w.key("generation").value(req.generation());
   w.key("np").value(req.np);
   w.key("elapsed_s").value(r.elapsed_seconds);
   w.key("comm_pct").value(r.ipm.comm_pct());

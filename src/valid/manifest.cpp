@@ -56,10 +56,11 @@ std::string manifest_json(const ManifestContext& ctx, const std::vector<RunRepor
 
   if (ctx.include_platforms) {
     os << "  \"platforms\": [\n";
-    const auto platforms = plat::study_platforms();
+    const auto platforms = plat::all_platforms();
     for (std::size_t i = 0; i < platforms.size(); ++i) {
       const auto& p = platforms[i];
-      os << "    {\"name\": " << json_string(p.name) << ", \"nodes\": " << p.nodes
+      os << "    {\"name\": " << json_string(p.name) << ", \"generation\": " << p.generation
+         << ", \"nodes\": " << p.nodes
          << ", \"cores_per_node\": " << p.cores_per_node
          << ", \"hw_threads_per_node\": " << p.hw_threads_per_node
          << ", \"mem_per_node_GB\": " << json_number(p.mem_per_node_GB)

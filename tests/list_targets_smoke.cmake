@@ -1,0 +1,42 @@
+# Smoke for `cirrus_bench --list-targets`: exit 0, sorted-by-name rows,
+# suite + generation coverage columns, and byte-identical output on a second
+# invocation. Driven from examples/CMakeLists.txt:
+#   cmake -DBIN=<path-to-cirrus_bench> -P list_targets_smoke.cmake
+if(NOT DEFINED BIN)
+  message(FATAL_ERROR "list_targets_smoke.cmake needs -DBIN=<binary>")
+endif()
+
+execute_process(COMMAND ${BIN} --list-targets
+                RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "--list-targets: expected exit 0, got ${rc}:\n${out}${err}")
+endif()
+
+if(NOT out MATCHES "target" OR NOT out MATCHES "generations")
+  message(FATAL_ERROR "--list-targets: missing header columns:\n${out}")
+endif()
+# The cross-generation suite must advertise its coverage.
+if(NOT out MATCHES "ext8[ ]+gap[ ]+2012\\+2020")
+  message(FATAL_ERROR "--list-targets: ext8 gap row missing or mislabelled:\n${out}")
+endif()
+# Paper-era targets default to 2012 coverage.
+if(NOT out MATCHES "fig1[ ]+paper[ ]+2012")
+  message(FATAL_ERROR "--list-targets: fig1 row missing generation column:\n${out}")
+endif()
+
+# Rows are sorted by target name (ext1 < ext8 < fig1 < tab2): deterministic,
+# diffable output is the whole point of the flag.
+string(FIND "${out}" "ext1" pos_ext1)
+string(FIND "${out}" "ext8" pos_ext8)
+string(FIND "${out}" "fig1" pos_fig1)
+string(FIND "${out}" "tab2" pos_tab2)
+if(NOT pos_ext1 LESS pos_ext8 OR NOT pos_ext8 LESS pos_fig1 OR NOT pos_fig1 LESS pos_tab2)
+  message(FATAL_ERROR "--list-targets: rows not sorted by name:\n${out}")
+endif()
+
+# Determinism: a second run must produce byte-identical output.
+execute_process(COMMAND ${BIN} --list-targets
+                RESULT_VARIABLE rc2 OUTPUT_VARIABLE out2)
+if(NOT out STREQUAL out2)
+  message(FATAL_ERROR "--list-targets: output differs between runs")
+endif()

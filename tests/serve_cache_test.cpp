@@ -102,6 +102,47 @@ TEST(RequestKey, StorageAndWfKnobsCanonicalise) {
   EXPECT_FALSE(RunRequest::parse({{"workload", "wf"}, {"mtbf", "3600"}}, g, &error));
 }
 
+TEST(RequestKey, GenerationFoldsIntoThePlatformValue) {
+  // `{platform=vayu, gen=2020}` and `{platform=vayu2020}` are the same
+  // machine: they must canonicalise to one key. And because gen folds into
+  // the platform value rather than adding a 23rd pair, every pre-generation
+  // gen-2012 key stays byte-identical.
+  RunRequest a, b;
+  std::string error;
+  ASSERT_TRUE(RunRequest::parse({{"platform", "vayu"}, {"gen", "2020"}}, a, &error)) << error;
+  ASSERT_TRUE(RunRequest::parse({{"platform", "vayu2020"}}, b, &error)) << error;
+  EXPECT_EQ(a.canonical_key(), b.canonical_key());
+  EXPECT_EQ(a.resolved_platform(), "vayu2020");
+  EXPECT_EQ(a.generation(), 2020);
+  EXPECT_EQ(a.items().size(), 22U) << "gen must not add a key pair";
+
+  RunRequest c, d;
+  ASSERT_TRUE(RunRequest::parse({{"platform", "ec2"}, {"gen", "2020"}}, c, &error)) << error;
+  ASSERT_TRUE(RunRequest::parse({{"platform", "ec2_2020"}}, d, &error)) << error;
+  EXPECT_EQ(c.canonical_key(), d.canonical_key());
+
+  // An explicit gen=2012 is the default generation: same key as no gen.
+  RunRequest e, f;
+  ASSERT_TRUE(RunRequest::parse({{"platform", "vayu"}, {"gen", "2012"}}, e, &error)) << error;
+  ASSERT_TRUE(RunRequest::parse({{"platform", "vayu"}}, f, &error)) << error;
+  EXPECT_EQ(e.canonical_key(), f.canonical_key());
+  EXPECT_EQ(f.generation(), 2012);
+}
+
+TEST(RequestKey, GenerationRejectsImpossibleCombinations) {
+  RunRequest req;
+  std::string error;
+  EXPECT_FALSE(RunRequest::parse({{"gen", "2021"}}, req, &error));
+  EXPECT_NE(error.find("2012|2020"), std::string::npos) << error;
+  // The DCC private cloud was retired: no gen-2020 model exists.
+  EXPECT_FALSE(RunRequest::parse({{"platform", "dcc"}, {"gen", "2020"}}, req, &error));
+  EXPECT_NE(error.find("no gen-2020"), std::string::npos) << error;
+  // Asking for the 2012 generation of an already-2020-qualified name is a
+  // contradiction, not a silent downgrade.
+  EXPECT_FALSE(RunRequest::parse({{"platform", "vayu2020"}, {"gen", "2012"}}, req, &error));
+  EXPECT_NE(error.find("conflicts"), std::string::npos) << error;
+}
+
 TEST(RequestKey, EveryKnobChangesTheKey) {
   // Collision test across the full knob space: every legal value of every
   // enum knob, plus representative numeric values, must give distinct keys.
@@ -118,7 +159,9 @@ TEST(RequestKey, EveryKnobChangesTheKey) {
         << "hash collision for " << req.canonical_key();
   };
 
-  for (const char* p : {"dcc", "ec2"}) insert_distinct({{"platform", p}});
+  for (const char* p : {"dcc", "ec2", "vayu2020", "ec2_2020"}) {
+    insert_distinct({{"platform", p}});
+  }
   for (const char* w : {"metum", "chaste"}) insert_distinct({{"workload", w}});
   insert_distinct({{"workload", "osu"}, {"bench", "bw"}});
   insert_distinct({{"workload", "osu"}, {"bench", "lat"}});

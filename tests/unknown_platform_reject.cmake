@@ -1,0 +1,32 @@
+# Asserts cirrus_run fails an unknown platform name with exit code 2 and an
+# error message listing every valid platform. Driven from
+# examples/CMakeLists.txt:
+#   cmake -DBIN=<path-to-cirrus_run> -P unknown_platform_reject.cmake
+if(NOT DEFINED BIN)
+  message(FATAL_ERROR "unknown_platform_reject.cmake needs -DBIN=<binary>")
+endif()
+
+execute_process(
+  COMMAND ${BIN} npb --bench CG --class S --np 4 --platform azure
+  RESULT_VARIABLE rc
+  OUTPUT_VARIABLE out
+  ERROR_VARIABLE err
+)
+
+if(NOT rc EQUAL 2)
+  message(FATAL_ERROR "--platform azure: expected exit code 2, got ${rc}:\n${out}${err}")
+endif()
+set(all "${out}${err}")
+foreach(name vayu dcc ec2 vayu2020 ec2_2020)
+  if(NOT all MATCHES "${name}")
+    message(FATAL_ERROR "--platform azure: error does not list '${name}':\n${all}")
+  endif()
+endforeach()
+
+# The osu mode routes through plat::by_name too: same contract.
+execute_process(
+  COMMAND ${BIN} osu --test bw --platform azure
+  RESULT_VARIABLE rc2 OUTPUT_VARIABLE out2 ERROR_VARIABLE err2)
+if(NOT rc2 EQUAL 2)
+  message(FATAL_ERROR "osu --platform azure: expected exit code 2, got ${rc2}:\n${out2}${err2}")
+endif()

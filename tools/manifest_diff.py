@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""Diff two cirrus-manifest JSON files on their pinned metrics.
+
+Usage:
+    manifest_diff.py OLD.json NEW.json [--rel-tol 0.05] [--abs-tol 1e-9]
+
+Metrics are indexed by (target, name, platform, ranks). A metric counts as
+drifted when |new - old| > max(abs_tol, rel_tol * |old|); a metric present in
+OLD but missing from NEW counts as removed. Either condition exits 1 (the CI
+trend gate); metrics only present in NEW are reported informationally. Exit
+2 on usage or parse errors, 0 when the manifests agree within tolerance.
+
+This is the continuous-evaluation loop applied to ourselves: each CI run
+diffs its fresh `--suite gap` manifest against the previous run's cached one,
+so any silent drift in the simulated gap ratios fails the build instead of
+rotting quietly.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_metrics(path):
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            doc = json.load(fh)
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"manifest_diff: cannot read {path}: {exc}", file=sys.stderr)
+        sys.exit(2)
+    if doc.get("schema", "").rsplit("/", 1)[0] != "cirrus-manifest":
+        print(f"manifest_diff: {path}: not a cirrus-manifest file", file=sys.stderr)
+        sys.exit(2)
+    metrics = {}
+    for target in doc.get("targets", []):
+        tname = target.get("target", "?")
+        for m in target.get("metrics", []):
+            key = (tname, m.get("name", "?"), m.get("platform", "-"),
+                   int(m.get("ranks", 0)))
+            metrics[key] = float(m.get("value", 0.0))
+    return metrics
+
+
+def fmt(key):
+    target, name, platform, ranks = key
+    return f"{target}/{name}[{platform},{ranks}]"
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__,
+                                 formatter_class=argparse.RawDescriptionHelpFormatter)
+    ap.add_argument("old")
+    ap.add_argument("new")
+    ap.add_argument("--rel-tol", type=float, default=0.05,
+                    help="relative drift tolerance (default 0.05)")
+    ap.add_argument("--abs-tol", type=float, default=1e-9,
+                    help="absolute drift floor (default 1e-9)")
+    args = ap.parse_args()
+
+    old = load_metrics(args.old)
+    new = load_metrics(args.new)
+
+    drifted, removed = [], []
+    for key, old_v in sorted(old.items()):
+        if key not in new:
+            removed.append(key)
+            continue
+        new_v = new[key]
+        allowed = max(args.abs_tol, args.rel_tol * abs(old_v))
+        if abs(new_v - old_v) > allowed:
+            drifted.append((key, old_v, new_v, allowed))
+    added = sorted(k for k in new if k not in old)
+
+    for key, old_v, new_v, allowed in drifted:
+        print(f"DRIFT   {fmt(key)}: {old_v:.9g} -> {new_v:.9g} "
+              f"(|delta| {abs(new_v - old_v):.3g} > allowed {allowed:.3g})")
+    for key in removed:
+        print(f"REMOVED {fmt(key)}: was {old[key]:.9g}")
+    for key in added:
+        print(f"added   {fmt(key)} = {new[key]:.9g}")
+
+    n_same = len(old) - len(removed) - len(drifted)
+    print(f"manifest_diff: {n_same} stable, {len(drifted)} drifted, "
+          f"{len(removed)} removed, {len(added)} added "
+          f"(rel_tol {args.rel_tol}, abs_tol {args.abs_tol})")
+    return 1 if drifted or removed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
