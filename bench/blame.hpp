@@ -1,0 +1,25 @@
+// Shared blame-probe plumbing for bench targets.
+//
+// A blame probe is one extra traced run of a configuration a target already
+// sweeps (trace capture is off for the sweep itself — it would slow every
+// point). The probe goes through serve::execute(), i.e. the exact plumbing
+// the CLI and the service use, walks the trace with obs::critpath and lands
+// the fractions in the report's critpath block, where the manifest, the
+// critpath.ref pins and the gap-trend drift gate pick them up.
+#pragma once
+
+#include <string>
+
+#include "core/request.hpp"
+#include "obs/critpath.hpp"
+#include "valid/report.hpp"
+
+namespace cirrus::bench {
+
+/// Runs `req` once with tracing enabled and appends its critical-path blame
+/// block to `report.critpath` under `label` (e.g. "cg.dcc") at x = req.np.
+/// Returns the blame for callers that also print it.
+obs::critpath::Blame run_blame_probe(const core::RunRequest& req, const std::string& label,
+                                     valid::RunReport& report);
+
+}  // namespace cirrus::bench

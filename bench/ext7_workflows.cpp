@@ -19,6 +19,7 @@
 #include <string>
 #include <vector>
 
+#include "bench/blame.hpp"
 #include "bench/registry.hpp"
 #include "cloud/wf_sched.hpp"
 #include "core/driver.hpp"
@@ -28,8 +29,8 @@
 #include "wf/dag.hpp"
 #include "wf/runtime.hpp"
 
-CIRRUS_BENCH_TARGET(ext7, "ext",
-                    "Scientific-workflow DAG sweep: shape x platform x storage x scheduler") {
+CIRRUS_BENCH_TARGET_BLAME(
+    ext7, "ext", "Scientific-workflow DAG sweep: shape x platform x storage x scheduler") {
   using namespace cirrus;
   const int jobs = opts.get_int("jobs", 0);
   const std::uint64_t seed = static_cast<std::uint64_t>(opts.get_int("seed", 1));
@@ -153,5 +154,19 @@ CIRRUS_BENCH_TARGET(ext7, "ext",
       "expensive; its makespan prediction, built on four scalars, stays within a "
       "small factor of the simulated truth (pred_ratio) but misses the contention "
       "the simulator charges.\n");
+
+  // Blame probe: the I/O-heavy corner of the sweep (Montage on EC2 over the
+  // object store) — the configuration where storage-queue time should show
+  // up on the critical path.
+  core::RunRequest req;
+  req.workload = "wf";
+  req.wf_shape = "montage";
+  req.wf_width = 12;  // the sweep's Montage width
+  req.storage = "object";
+  req.platform = "ec2";
+  req.np = workers;
+  req.rpn = rpn;
+  req.seed = seed;
+  bench::run_blame_probe(req, "montage.ec2.object", report);
   return 0;
 }

@@ -22,6 +22,7 @@
 
 #include "apps/chaste/chaste.hpp"
 #include "apps/metum/metum.hpp"
+#include "bench/blame.hpp"
 #include "bench/registry.hpp"
 #include "core/driver.hpp"
 #include "core/options.hpp"
@@ -63,8 +64,8 @@ double run_point(const Workload& wl, const plat::Platform& platform, int np) {
 
 }  // namespace
 
-CIRRUS_BENCH_TARGET_GEN(ext8, "gap", "2012+2020",
-                        "Cloud/HPC gap ratios and knees across platform generations") {
+CIRRUS_BENCH_TARGET_GEN_BLAME(ext8, "gap", "2012+2020",
+                              "Cloud/HPC gap ratios and knees across platform generations") {
   using namespace cirrus;
   const bool quick = opts.has("quick");
 
@@ -175,5 +176,23 @@ CIRRUS_BENCH_TARGET_GEN(ext8, "gap", "2012+2020",
              "cloud efficiency)\n",
              stdout);
   std::fputs(trend.str().c_str(), stdout);
+
+  // Blame probes: *why* the gap narrows. CG@64 on the cloud platform of each
+  // generation — the gen-2012 run should blame the GigE fabric, the gen-2020
+  // run (better interconnect) should shift blame toward compute. Lands in
+  // the gap manifest's critpath block, so the gap-trend CI job diffs the
+  // blame split run over run alongside the gap ratios. Skipped under
+  // --quick (the determinism smoke sweep).
+  if (!quick) {
+    for (const auto& gen : generations) {
+      core::RunRequest req;
+      req.workload = "npb";
+      req.bench = "CG";
+      req.cls = "B";
+      req.platform = gen.cloud;
+      req.np = 64;
+      bench::run_blame_probe(req, valid::slug(std::string("cg.") + gen.label), report);
+    }
+  }
   return 0;
 }

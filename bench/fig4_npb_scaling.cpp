@@ -21,6 +21,7 @@
 #include <string>
 #include <vector>
 
+#include "bench/blame.hpp"
 #include "bench/registry.hpp"
 #include "core/driver.hpp"
 #include "core/options.hpp"
@@ -28,8 +29,8 @@
 #include "core/table.hpp"
 #include "npb/npb.hpp"
 
-CIRRUS_BENCH_TARGET(fig4, "paper",
-                    "NPB class B speedup curves (np=1..64) on DCC, EC2 and Vayu") {
+CIRRUS_BENCH_TARGET_BLAME(fig4, "paper",
+                          "NPB class B speedup curves (np=1..64) on DCC, EC2 and Vayu") {
   using namespace cirrus;
   const std::string only = opts.positional().empty() ? "" : opts.positional()[0];
   const int jobs = opts.get_int("jobs", 0);
@@ -90,6 +91,28 @@ CIRRUS_BENCH_TARGET(fig4, "paper",
     }
     std::fputs("\n", stdout);
     core::figure_to_report(fig, "speedup_" + b.name, "", report);
+  }
+
+  // Critical-path blame probes: one traced re-run of the scaling endpoints
+  // whose shapes the paper explains causally — CG@64 on DCC (the GigE
+  // crossing: fabric should out-blame compute) vs Vayu (IB: it should not),
+  // EP@64 on DCC (embarrassingly parallel: compute dominates everywhere)
+  // and FT@64 on DCC (Alltoall-bound). Pinned in critpath.ref.
+  struct Probe {
+    const char* bench;
+    const char* platform;
+  };
+  for (const Probe& p : {Probe{"CG", "dcc"}, Probe{"CG", "vayu"}, Probe{"EP", "dcc"},
+                         Probe{"FT", "dcc"}}) {
+    if (!only.empty() && only != p.bench) continue;
+    core::RunRequest req;
+    req.workload = "npb";
+    req.bench = p.bench;
+    req.cls = "B";
+    req.platform = p.platform;
+    req.np = 64;
+    bench::run_blame_probe(req, valid::slug(std::string(p.bench) + "." + p.platform),
+                           report);
   }
   return 0;
 }

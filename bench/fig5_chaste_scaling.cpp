@@ -14,14 +14,15 @@
 #include <vector>
 
 #include "apps/chaste/chaste.hpp"
+#include "bench/blame.hpp"
 #include "bench/registry.hpp"
 #include "core/driver.hpp"
 #include "core/options.hpp"
 #include "core/report_bridge.hpp"
 #include "core/table.hpp"
 
-CIRRUS_BENCH_TARGET(fig5, "paper",
-                    "Chaste total and KSp-section speedup over 8 cores on Vayu and DCC") {
+CIRRUS_BENCH_TARGET_BLAME(
+    fig5, "paper", "Chaste total and KSp-section speedup over 8 cores on Vayu and DCC") {
   using namespace cirrus;
   const int np_list[] = {8, 16, 32, 48, 64};
   const char* platforms[] = {"vayu", "dcc"};
@@ -85,5 +86,13 @@ CIRRUS_BENCH_TARGET(fig5, "paper",
     std::printf("wrote %s\n", cirrus::core::write_figure_csv(fig, *dir).c_str());
   }
   core::figure_to_report(fig, "speedup", "", report);
+
+  // Blame probe at the 64-core endpoint on DCC, where the KSp Allreduce
+  // chain meets the GigE fabric (the scaling collapse fig5 tabulates).
+  core::RunRequest req;
+  req.workload = "chaste";
+  req.platform = "dcc";
+  req.np = 64;
+  bench::run_blame_probe(req, "chaste.dcc", report);
   return 0;
 }

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "apps/metum/metum.hpp"
+#include "bench/blame.hpp"
 #include "bench/registry.hpp"
 #include "core/driver.hpp"
 #include "core/options.hpp"
@@ -35,8 +36,8 @@ double warmed(const cirrus::plat::Platform& platform, int np, int max_rpn) {
 
 }  // namespace
 
-CIRRUS_BENCH_TARGET(fig6, "paper",
-                    "MetUM warmed-time speedup over 8 cores (Vayu, DCC, EC2, EC2-4)") {
+CIRRUS_BENCH_TARGET_BLAME(
+    fig6, "paper", "MetUM warmed-time speedup over 8 cores (Vayu, DCC, EC2, EC2-4)") {
   using namespace cirrus;
   const int np_list[] = {8, 16, 24, 32, 48, 64};
 
@@ -110,5 +111,13 @@ CIRRUS_BENCH_TARGET(fig6, "paper",
     std::printf("wrote %s\n", cirrus::core::write_figure_csv(fig, *dir).c_str());
   }
   core::figure_to_report(fig, "speedup_warmed", "", report);
+
+  // Blame probe at the 64-core endpoint on DCC (fully subscribed), the
+  // configuration whose warmed-time flattening fig6 tabulates.
+  core::RunRequest req;
+  req.workload = "metum";
+  req.platform = "dcc";
+  req.np = 64;
+  bench::run_blame_probe(req, "metum.dcc", report);
   return 0;
 }

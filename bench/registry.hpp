@@ -27,6 +27,10 @@ struct Target {
   /// Platform generations the target sweeps: "2012" for the paper-era
   /// studies, "2012+2020" for cross-generation suites (--list-targets).
   const char* generations = "2012";
+  /// True when the target runs critical-path blame probes and fills the
+  /// report's critpath block (shown by --list-targets, pinned by
+  /// critpath.ref, diffed by the gap-trend CI job).
+  bool emits_blame = false;
 };
 
 /// All registered targets, sorted into canonical paper order
@@ -59,5 +63,24 @@ int register_target(const Target& t);
                             cirrus::valid::RunReport& report);                     \
   [[maybe_unused]] static const int id##_registered =                              \
       cirrus::bench::register_target({#id, suite_, desc, &id##_target_fn, gens});  \
+  static int id##_target_fn([[maybe_unused]] const cirrus::core::Options& opts,    \
+                            [[maybe_unused]] cirrus::valid::RunReport& report)
+
+/// Like CIRRUS_BENCH_TARGET, marking the target as a blame emitter: it runs
+/// traced probe jobs and fills report.critpath via valid::add_blame.
+#define CIRRUS_BENCH_TARGET_BLAME(id, suite_, desc)                                \
+  static int id##_target_fn(const cirrus::core::Options& opts,                     \
+                            cirrus::valid::RunReport& report);                     \
+  [[maybe_unused]] static const int id##_registered = cirrus::bench::register_target( \
+      {#id, suite_, desc, &id##_target_fn, "2012", true});                         \
+  static int id##_target_fn([[maybe_unused]] const cirrus::core::Options& opts,    \
+                            [[maybe_unused]] cirrus::valid::RunReport& report)
+
+/// Generation coverage and blame emission combined (the gap suite).
+#define CIRRUS_BENCH_TARGET_GEN_BLAME(id, suite_, gens, desc)                      \
+  static int id##_target_fn(const cirrus::core::Options& opts,                     \
+                            cirrus::valid::RunReport& report);                     \
+  [[maybe_unused]] static const int id##_registered = cirrus::bench::register_target( \
+      {#id, suite_, desc, &id##_target_fn, gens, true});                           \
   static int id##_target_fn([[maybe_unused]] const cirrus::core::Options& opts,    \
                             [[maybe_unused]] cirrus::valid::RunReport& report)

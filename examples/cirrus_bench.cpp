@@ -106,9 +106,14 @@ int main(int argc, char** argv) try {
     std::sort(sorted.begin(), sorted.end(), [](const bench::Target* a, const bench::Target* b) {
       return std::string_view(a->name) < std::string_view(b->name);
     });
-    core::Table t({"target", "suite", "generations", "description"});
+    core::Table t({"target", "suite", "generations", "blame", "description"});
     for (const auto* tgt : sorted) {
-      t.row().add(tgt->name).add(tgt->suite).add(tgt->generations).add(tgt->description);
+      t.row()
+          .add(tgt->name)
+          .add(tgt->suite)
+          .add(tgt->generations)
+          .add(tgt->emits_blame ? "yes" : "no")
+          .add(tgt->description);
     }
     std::printf("%s", t.str().c_str());
     return 0;
@@ -228,6 +233,17 @@ int main(int argc, char** argv) try {
     std::size_t pinned = 0;
     for (const auto& r : reports) pinned += r.metrics.size();
     std::printf("\nwrote %zu reference metrics to %s\n", pinned, path.c_str());
+    // Blame blocks get their own reference file (pins only; the hand-curated
+    // qualitative expects live in the committed critpath.ref and are merged
+    // back by hand after regeneration).
+    std::size_t blamed = 0;
+    for (const auto& r : reports) blamed += r.critpath.size();
+    if (blamed > 0) {
+      const std::string cp_path = valid::reference_dir() + "/critpath.ref.new";
+      valid::write_text_file(cp_path, valid::write_critpath_reference(reports));
+      std::printf("wrote %zu critpath pins to %s (merge into critpath.ref)\n", blamed,
+                  cp_path.c_str());
+    }
   }
 
   std::vector<valid::CheckResult> checks;

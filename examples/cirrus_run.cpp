@@ -15,6 +15,10 @@
 //                 --trace FILE (write a chrome://tracing JSON span trace;
 //                 with --metrics the trace gains counter tracks, fault
 //                 instants and send->recv flow arrows)
+//                 --blame (critical-path blame attribution: walk the span/
+//                 event DAG backwards from completion and print the makespan
+//                 split into compute / mpi-wait / fabric-serialization /
+//                 storage-queue / barrier-lookahead, plus the top edges)
 // Telemetry:      --metrics [FILE] (Prometheus-style text dump of the
 //                 simulator's self-profiling counters; stdout when no FILE)
 //                 --sample-dt SECONDS (virtual-time sampling cadence for
@@ -43,6 +47,7 @@
 #include "core/request.hpp"
 #include "core/table.hpp"
 #include "mpi/minimpi.hpp"
+#include "obs/critpath.hpp"
 #include "obs/trace_export.hpp"
 #include "osu/osu.hpp"
 #include "serve/service.hpp"
@@ -68,7 +73,7 @@ int usage(const char* prog) {
                "          --placement contig|scatter|pgroup\n"
                "  faults: --mtbf seconds --ckpt seconds --requeue seconds --horizon seconds\n"
                "  obs:    --metrics [file] --sample-dt seconds --metrics-csv file\n"
-               "          --trace file\n",
+               "          --trace file --blame (critical-path blame table)\n",
                prog);
   return 2;
 }
@@ -76,7 +81,7 @@ int usage(const char* prog) {
 /// Front-end toggles (everything outside the RunRequest / cache key).
 serve::ExecOptions exec_options(const core::Options& opts) {
   serve::ExecOptions exec;
-  exec.enable_trace = opts.has("trace");
+  exec.enable_trace = opts.has("trace") || opts.has("blame");
   exec.telemetry.sample_dt_s = opts.get_double("sample-dt", 0.0);
   exec.telemetry.enabled = opts.has("metrics") || opts.has("metrics-csv") ||
                            exec.telemetry.sample_dt_s > 0;
@@ -117,15 +122,22 @@ void print_result(const mpi::JobResult& r, const std::string& name,
   }
   if (const auto path = opts.get("trace"); path && r.trace) {
     std::ofstream out(*path);
-    if (r.telemetry) {
-      // Enriched trace: counter tracks from the sampler ride along with the
-      // spans, flow arrows and instant markers.
-      out << obs::enriched_chrome_json(r.trace.get(), &r.telemetry->sampler);
+    if (r.telemetry || r.spans || r.sched_spans) {
+      // Enriched trace: causal spans (rank tracks + the scheduler meta
+      // track) and, with --metrics, counter tracks ride along with the
+      // event rows, flow arrows and instant markers.
+      out << obs::enriched_chrome_json(r.trace.get(),
+                                       r.telemetry ? &r.telemetry->sampler : nullptr,
+                                       r.spans.get(), r.sched_spans.get());
     } else {
       out << r.trace->to_chrome_json();
     }
     std::printf("wrote %zu trace events to %s (open in chrome://tracing)\n",
                 r.trace->size(), path->c_str());
+  }
+  if (opts.has("blame") && r.trace) {
+    const auto blame = obs::critpath::attribute(*r.trace, r.spans.get());
+    std::fputs(blame.format().c_str(), stdout);
   }
   if (r.telemetry) {
     if (opts.has("metrics")) {
@@ -214,7 +226,7 @@ int main(int argc, char** argv) {
   const core::Options opts(argc, argv);
   if (const auto bad = core::unknown_keys(
           opts, {"platform", "gen",       "np",      "rpn",     "seed",    "execute",
-                 "eager",    "ipm",       "trace",   "metrics", "sample-dt", "metrics-csv",
+                 "eager",    "ipm",       "trace",   "blame",   "metrics", "sample-dt", "metrics-csv",
                  "topo",     "oversub",   "leaf",    "placement", "mtbf",
                  "ckpt",     "requeue",   "horizon", "lp",        "sched",
                  "bench",    "class",     "test",    "storage",   "wf-shape",

@@ -15,11 +15,16 @@
 //   GET|POST /advise?bench=CG&np=16&queue_wait_hours=4
 //   GET  /metrics                        Prometheus text exposition
 //   GET  /cache/stats                    cache counters as JSON
+//   GET  /spans                          recent request traces (span chains)
 //
+// Every response carries an X-Cirrus-Trace id. With --access-log FILE each
+// request appends one JSON line (trace id, route, status, cache outcome,
+// latency); requests slower than --slow-ms log their span chain to stderr.
 // With --port 0 (the default) an ephemeral port is chosen and printed; CI
 // and the load generator parse the "listening on port N" line.
 #include <csignal>
 #include <cstdio>
+#include <memory>
 #include <string>
 
 #include "core/options.hpp"
@@ -32,7 +37,9 @@ int usage(const char* prog) {
   std::fprintf(stderr,
                "usage: %s [--port N (0 = ephemeral)] [--cache-cap entries]\n"
                "          [--cache-dir dir (persist results)] [--verify-frac 0..1]\n"
-               "          [--max-inflight jobs] [--timeout-ms queue-wait]\n",
+               "          [--max-inflight jobs] [--timeout-ms queue-wait]\n"
+               "          [--access-log file (JSON lines, one per request)]\n"
+               "          [--slow-ms N (slow-request stderr log; 0 = off)]\n",
                prog);
   return 2;
 }
@@ -47,7 +54,8 @@ int main(int argc, char** argv) {
   const core::Options opts(argc, argv);
   if (const auto bad = core::unknown_keys(opts, {"port", "cache-cap", "cache-dir",
                                                  "verify-frac", "max-inflight",
-                                                 "timeout-ms", "help"});
+                                                 "timeout-ms", "access-log",
+                                                 "slow-ms", "help"});
       !bad.empty()) {
     std::fprintf(stderr, "error: unknown option --%s\n", bad.front().c_str());
     return usage(argv[0]);
@@ -60,11 +68,20 @@ int main(int argc, char** argv) {
   sopts.verify_fraction = opts.get_double("verify-frac", 0.0);
   sopts.max_inflight_jobs = opts.get_int("max-inflight", 0);
   sopts.queue_timeout_ms = opts.get_int("timeout-ms", 5000);
+  sopts.access_log_path = opts.get_or("access-log", "");
+  sopts.slow_ms = opts.get_int("slow-ms", 1000);
   if (sopts.cache.capacity < 1 || sopts.verify_fraction < 0 || sopts.verify_fraction > 1) {
     return usage(argv[0]);
   }
 
-  serve::Service service(sopts);
+  std::unique_ptr<serve::Service> service_ptr;
+  try {
+    service_ptr = std::make_unique<serve::Service>(sopts);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  serve::Service& service = *service_ptr;
   serve::HttpServer::Options hopts;
   hopts.port = opts.get_int("port", 0);
   serve::HttpServer server(hopts, [&service](const serve::HttpRequest& req) {

@@ -261,6 +261,7 @@ struct DeferCtx {
   bool open_file = false;
   net::TransferTiming timing{};  // out: Transfer / RendezvousStart
   sim::SimTime delay = 0;        // out: Control / FsRead / FsWrite
+  sim::SimTime queued = 0;       // out: FsRead / FsWrite head-of-line wait
   std::shared_ptr<RequestState> sreq;  // RendezvousStart only
   std::shared_ptr<RequestState> rreq;  // RendezvousStart only
   int src_world = 0;
@@ -321,11 +322,23 @@ class Job {
       rank_lp_[static_cast<std::size_t>(r)] = node_of(r) * lp_n / nodes;
     }
     lp_.resize(static_cast<std::size_t>(lp_n));
+    span_rec_.resize(static_cast<std::size_t>(cfg.np));  // default = inert
     if (cfg.enable_trace) {
       if (lp_n == 1) {
         trace = std::make_shared<ipm::Trace>();
+        spans = std::make_shared<obs::SpanSet>();
+        for (int r = 0; r < cfg.np; ++r) {
+          span_rec_[static_cast<std::size_t>(r)] = obs::SpanRecorder(spans.get(), r);
+        }
       } else {
-        for (auto& sh : lp_) sh.trace = std::make_unique<ipm::Trace>();
+        for (auto& sh : lp_) {
+          sh.trace = std::make_unique<ipm::Trace>();
+          sh.spans = std::make_unique<obs::SpanSet>();
+        }
+        for (int r = 0; r < cfg.np; ++r) {
+          span_rec_[static_cast<std::size_t>(r)] =
+              obs::SpanRecorder(lp_[static_cast<std::size_t>(lp_of(r))].spans.get(), r);
+        }
       }
     }
 
@@ -524,6 +537,8 @@ class Job {
   JobConfig config;
   sim::Engine engine;  ///< LP 0; extra LPs live in extra_engines_
   std::shared_ptr<ipm::Trace> trace;  // null unless config.enable_trace or lp_n > 1
+  std::shared_ptr<obs::SpanSet> spans;  // same gating as trace
+  std::vector<obs::SpanRecorder> span_rec_;  // per rank; inert when not tracing
   std::vector<plat::RankPlacement> placement;
   net::Network network;
   storage::Service fs;
@@ -571,7 +586,8 @@ class Job {
     MpiCounters counters;
     net::NetStats net;           ///< intranode traffic priced engine-locally
     std::map<std::string, double> values;
-    std::unique_ptr<ipm::Trace> trace;  ///< multi-LP only; lp 1 uses Job::trace
+    std::unique_ptr<ipm::Trace> trace;      ///< multi-LP only; lp 1 uses Job::trace
+    std::unique_ptr<obs::SpanSet> spans;    ///< multi-LP only; lp 1 uses Job::spans
   };
 
   // --- LP topology (fixed after the ctor) ---
@@ -603,6 +619,10 @@ class Job {
     if (lp_n == 1) return trace.get();
     return lp_[static_cast<std::size_t>(lp_of(world_rank))].trace.get();
   }
+  /// This rank's causal-span recorder (inert unless config.enable_trace).
+  [[nodiscard]] obs::SpanRecorder& span_rec(int world_rank) {
+    return span_rec_[static_cast<std::size_t>(world_rank)];
+  }
   /// The job's trace as one object: lp 1's trace directly, or the LP shards
   /// merged (LP-index order) and sorted into canonical single-LP order.
   [[nodiscard]] std::shared_ptr<ipm::Trace> final_trace() {
@@ -617,6 +637,21 @@ class Job {
       trace->sort_canonical();
     }
     return trace;
+  }
+  /// The job's span set as one object, mirroring final_trace(): lp 1's set
+  /// directly, or the LP shards merged and canonically sorted.
+  [[nodiscard]] std::shared_ptr<obs::SpanSet> final_spans() {
+    if (lp_n == 1) return spans;
+    if (!config.enable_trace) return nullptr;
+    if (!spans) {
+      spans = std::make_shared<obs::SpanSet>();
+      for (auto& sh : lp_) {
+        if (sh.spans) spans->append(*sh.spans);
+        sh.spans.reset();
+      }
+      spans->sort_canonical();
+    }
+    return spans;
   }
   void report_value(int world_rank, const std::string& key, double v) {
     if (lp_n == 1) {
@@ -859,9 +894,11 @@ void service_request(Job& job, sim::LpRequest& r) {
       break;
     case detail::DeferCtx::Kind::FsRead:
       ctx->delay = job.fs.read_at(r.t, ctx->bytes, ctx->open_file);
+      ctx->queued = job.fs.last_op().queued;
       break;
     case detail::DeferCtx::Kind::FsWrite:
       ctx->delay = job.fs.write_at(r.t, ctx->bytes, ctx->open_file);
+      ctx->queued = job.fs.last_op().queued;
       break;
     case detail::DeferCtx::Kind::RendezvousStart: {
       // Mirrors the single-LP call order exactly: transfer(src, dst) first,
@@ -1147,6 +1184,8 @@ void Comm::wait(Request& req) {
   if (!in_collective() && req.state_) {
     job.recorders[static_cast<std::size_t>(world_rank_of(rank_))].add_mpi(
         ipm::CallKind::Wait, req.state_->bytes, me.now() - t0, req.state_->sys_frac);
+    job.record_span(world_rank_of(rank_), t0, ipm::TraceEvent::Kind::Mpi,
+                    ipm::CallKind::Wait, req.state_->bytes, -1);
   }
 }
 
@@ -1171,6 +1210,11 @@ void Comm::sendrecv_bytes(int dst, int stag, const void* sdata, std::size_t sbyt
   if (!in_collective()) {
     job.recorders[static_cast<std::size_t>(world_rank_of(rank_))].add_mpi(
         ipm::CallKind::Sendrecv, sbytes + rbytes, me.now() - t0, sys);
+    // The inner isend/irecv suppress their own spans (CollGuard), so the
+    // exchange must record one itself or its wait time is invisible to the
+    // trace — and charged to "other" by the critical-path walker.
+    job.record_span(world_rank_of(rank_), t0, ipm::TraceEvent::Kind::Mpi,
+                    ipm::CallKind::Sendrecv, sbytes + rbytes, dst);
   }
 }
 
@@ -1214,6 +1258,8 @@ struct CollTimer {
           kind_, bytes_, job_.eng(world_rank_).now() - t0_,
           job_.config.platform.nic.sys_frac * 0.7);
       job_.record_span(world_rank_, t0_, ipm::TraceEvent::Kind::Mpi, kind_, bytes_, -1);
+      job_.span_rec(world_rank_)
+          .record(t0_, job_.eng(world_rank_).now(), "mpi.collective", ipm::to_string(kind_));
     }
   }
   Job& job_;
@@ -1747,10 +1793,26 @@ void RankEnv::compute(double ref_seconds) {
                     -1);
 }
 
+namespace {
+/// Queue-vs-service spans for one storage request [t0, done] (trace-gated).
+/// The storage layer reports the head-of-line wait as one leading interval —
+/// exact for NFS/Object (single completion front), first-order for Lustre
+/// (stripes overlap; the MDS/OSS wait is lumped up front).
+void record_storage_spans(Job& job, int world_rank, sim::SimTime t0, sim::SimTime done,
+                          sim::SimTime queued) {
+  obs::SpanRecorder& rec = job.span_rec(world_rank);
+  if (!rec.enabled() || done <= t0) return;
+  const char* backend = storage::to_string(job.fs.model().backend);
+  if (queued > 0) rec.record(t0, t0 + queued, "storage.queue", backend);
+  rec.record(t0 + queued, done, "storage.service", backend);
+}
+}  // namespace
+
 void RankEnv::io_read(std::size_t bytes, bool open_file) {
   sim::Engine& me = job_->eng(world_rank_);
   const sim::SimTime t0 = me.now();
   sim::SimTime done;
+  sim::SimTime queued = 0;
   if (job_->lp_n > 1) {
     // The file system is shared queueing state — service it in canonical
     // order on the coordinator so concurrent readers on different LPs see a
@@ -1761,8 +1823,10 @@ void RankEnv::io_read(std::size_t bytes, bool open_file) {
     ctx.open_file = open_file;
     defer_and_wait(*job_, world_rank_, ctx);
     done = ctx.delay;
+    queued = ctx.queued;
   } else {
     done = job_->fs.read(bytes, open_file);
+    queued = job_->fs.last_op().queued;
   }
   sim::Process& proc = *job_->procs[static_cast<std::size_t>(world_rank_)];
   if (done > t0) {
@@ -1772,12 +1836,14 @@ void RankEnv::io_read(std::size_t bytes, bool open_file) {
   recorder_->add_io(me.now() - t0);
   job_->record_span(world_rank_, t0, ipm::TraceEvent::Kind::Io, ipm::CallKind::kCount, bytes,
                     -1);
+  record_storage_spans(*job_, world_rank_, t0, done, queued);
 }
 
 void RankEnv::io_write(std::size_t bytes, bool open_file) {
   sim::Engine& me = job_->eng(world_rank_);
   const sim::SimTime t0 = me.now();
   sim::SimTime done;
+  sim::SimTime queued = 0;
   if (job_->lp_n > 1) {
     detail::DeferCtx ctx;
     ctx.kind = detail::DeferCtx::Kind::FsWrite;
@@ -1785,8 +1851,10 @@ void RankEnv::io_write(std::size_t bytes, bool open_file) {
     ctx.open_file = open_file;
     defer_and_wait(*job_, world_rank_, ctx);
     done = ctx.delay;
+    queued = ctx.queued;
   } else {
     done = job_->fs.write(bytes, open_file);
+    queued = job_->fs.last_op().queued;
   }
   sim::Process& proc = *job_->procs[static_cast<std::size_t>(world_rank_)];
   if (done > t0) {
@@ -1796,9 +1864,19 @@ void RankEnv::io_write(std::size_t bytes, bool open_file) {
   recorder_->add_io(me.now() - t0);
   job_->record_span(world_rank_, t0, ipm::TraceEvent::Kind::Io, ipm::CallKind::kCount, bytes,
                     -1);
+  record_storage_spans(*job_, world_rank_, t0, done, queued);
 }
 
 void RankEnv::annotate(const std::string& name) { job_->record_instant(world_rank_, name); }
+
+std::uint32_t RankEnv::span_begin(std::string_view category, std::string label) {
+  return job_->span_rec(world_rank_)
+      .begin(job_->eng(world_rank_).now(), category, std::move(label));
+}
+
+void RankEnv::span_end(std::uint32_t id) {
+  job_->span_rec(world_rank_).end(id, job_->eng(world_rank_).now());
+}
 
 bool RankEnv::checkpointing() const noexcept { return job_->config.checkpoint_store != nullptr; }
 
@@ -2010,10 +2088,31 @@ JobResult run_job(const JobConfig& config, const std::function<void(RankEnv&)>& 
       ++job.finished_ranks;
     });
   }
+  std::shared_ptr<obs::SpanSet> sched_spans;
   if (job.lp_n == 1) {
     job.engine.run();
   } else {
-    sim::LpGroup group(job.engines, sim::LpGroup::Options{.lookahead = job.lookahead});
+    sim::LpGroup::Options lp_opts;
+    lp_opts.lookahead = job.lookahead;
+    obs::SpanRecorder sched_rec;  // inert unless tracing
+    if (config.enable_trace) {
+      // Scheduler meta spans on track -1: every barrier window and service
+      // round. Both hooks run on the coordinator only, so the recorder
+      // needs no lock. Window geometry depends on the LP split — these
+      // spans are diagnostic, not part of the LP-invariant span set.
+      sched_spans = std::make_shared<obs::SpanSet>();
+      sched_rec = obs::SpanRecorder(sched_spans.get(), -1);
+      lp_opts.on_window = [&sched_rec](sim::SimTime t_next, sim::SimTime horizon,
+                                       std::size_t rounds) {
+        if (horizon == sim::Engine::kNoEvent) horizon = t_next;
+        sched_rec.record(t_next, horizon, "sim.window", std::to_string(rounds) + " rounds");
+      };
+      lp_opts.on_round = [&sched_rec](sim::SimTime first, sim::SimTime last,
+                                      std::size_t count) {
+        sched_rec.record(first, last, "sim.round", std::to_string(count) + " reqs");
+      };
+    }
+    sim::LpGroup group(job.engines, lp_opts);
     job.group = &group;
     if (config.faults.kill_at_s >= 0) {
       // The single-LP path runs the kill as an in-engine event; here it is a
@@ -2075,6 +2174,8 @@ JobResult run_job(const JobConfig& config, const std::function<void(RankEnv&)>& 
   result.storage_stats = job.fs.stats();
   result.storage_name = job.fs.model().name;
   result.trace = job.final_trace();
+  result.spans = job.final_spans();
+  result.sched_spans = std::move(sched_spans);
   result.topology = job.network.topology_ptr();
   result.link_stats = job.network.link_stats();
   result.nic_stats = job.network.nic_stats();

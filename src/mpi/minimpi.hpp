@@ -22,11 +22,13 @@
 #include <span>
 #include <stdexcept>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "ipm/ipm.hpp"
 #include "ipm/trace.hpp"
 #include "net/network.hpp"
+#include "obs/span.hpp"
 #include "obs/telemetry.hpp"
 #include "platform/platform.hpp"
 #include "sim/engine.hpp"
@@ -339,6 +341,16 @@ class RankEnv {
   /// Perfetto shows per-task spans between markers.
   void annotate(const std::string& name);
 
+  /// Opens a causal span at the current virtual time on this rank's span
+  /// track (no-op returning 0 unless JobConfig::enable_trace). Spans nest:
+  /// a span opened while another is open becomes its child. Close with
+  /// span_end(); still-open children are closed at the same instant.
+  /// Workloads use this for task/stage attribution (e.g. wf.task →
+  /// wf.stage_in / wf.compute / wf.stage_out).
+  std::uint32_t span_begin(std::string_view category, std::string label = {});
+  /// Closes span `id` at the current virtual time (no-op for id 0).
+  void span_end(std::uint32_t id);
+
   /// Current virtual time in seconds (the job's clock).
   [[nodiscard]] double now_seconds() const noexcept;
 
@@ -452,6 +464,15 @@ struct JobResult {
   std::map<std::string, double> values;  ///< app-reported scalars
   /// Span trace (null unless JobConfig::enable_trace was set).
   std::shared_ptr<const ipm::Trace> trace;
+  /// Causal spans recorded alongside the trace (null unless enable_trace):
+  /// storage queue/service splits, collective phases, workload-opened spans
+  /// (wf task stages). Canonically sorted; byte-identical for any --lp.
+  std::shared_ptr<const obs::SpanSet> spans;
+  /// Scheduler meta spans (multi-LP traced runs only): one span per barrier
+  /// window and per service round on track -1. Diagnostic — the window
+  /// geometry is a function of the LP split, so unlike `spans` this is NOT
+  /// LP-invariant and stays out of blame attribution.
+  std::shared_ptr<const obs::SpanSet> sched_spans;
   /// The fabric the job ran over (never null; the crossbar has no links).
   std::shared_ptr<const topo::Topology> topology;
   /// Per-link utilisation, index-aligned with topology->links(). Empty on

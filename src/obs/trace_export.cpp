@@ -16,10 +16,17 @@ std::string json_escape(const std::string& s) { return jsonw::escape(s); }
 }  // namespace
 
 std::string enriched_chrome_json(const ipm::Trace* trace, const Sampler* sampler) {
+  return enriched_chrome_json(trace, sampler, nullptr, nullptr);
+}
+
+std::string enriched_chrome_json(const ipm::Trace* trace, const Sampler* sampler,
+                                 const SpanSet* spans, const SpanSet* sched_spans) {
   std::ostringstream os;
   os << "[";
   bool first = true;
   if (trace != nullptr) trace->write_events(os, first);
+  if (spans != nullptr) spans->write_chrome_events(os, first);
+  if (sched_spans != nullptr) sched_spans->write_chrome_events(os, first);
   if (sampler != nullptr) {
     // One "C" counter track per channel; Perfetto plots each as a stepped
     // area chart above the rank rows.

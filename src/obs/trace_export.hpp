@@ -7,6 +7,7 @@
 
 #include "ipm/trace.hpp"
 #include "obs/sampler.hpp"
+#include "obs/span.hpp"
 
 namespace cirrus::obs {
 
@@ -14,5 +15,11 @@ namespace cirrus::obs {
 /// instants) followed by one "C" counter track per sampler channel. Either
 /// argument may be null; with both null the result is an empty array.
 std::string enriched_chrome_json(const ipm::Trace* trace, const Sampler* sampler);
+
+/// Same, with causal span sets merged in as additional "X" rows on the rank
+/// tracks (`spans`, cat "span") and the scheduler meta track (`sched_spans`,
+/// tid -1). Any argument may be null.
+std::string enriched_chrome_json(const ipm::Trace* trace, const Sampler* sampler,
+                                 const SpanSet* spans, const SpanSet* sched_spans);
 
 }  // namespace cirrus::obs

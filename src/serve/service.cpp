@@ -4,6 +4,8 @@
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <iostream>
+#include <stdexcept>
 #include <thread>
 
 #include "apps/chaste/chaste.hpp"
@@ -343,7 +345,19 @@ Service::Service(Options opts)
                 : 2 * static_cast<int>(std::max(1U, std::thread::hardware_concurrency()))) {
   req_query_ = registry_.counter("serve_requests_total", {{"route", "query"}});
   req_advise_ = registry_.counter("serve_requests_total", {{"route", "advise"}});
+  req_healthz_ = registry_.counter("serve_requests_total", {{"route", "healthz"}});
+  req_metrics_ = registry_.counter("serve_requests_total", {{"route", "metrics"}});
+  req_cache_stats_ = registry_.counter("serve_requests_total", {{"route", "cache_stats"}});
+  req_spans_ = registry_.counter("serve_requests_total", {{"route", "spans"}});
   req_other_ = registry_.counter("serve_requests_total", {{"route", "other"}});
+  dur_query_ = registry_.histogram("serve_request_duration_seconds", {{"route", "query"}});
+  dur_advise_ = registry_.histogram("serve_request_duration_seconds", {{"route", "advise"}});
+  dur_healthz_ = registry_.histogram("serve_request_duration_seconds", {{"route", "healthz"}});
+  dur_metrics_ = registry_.histogram("serve_request_duration_seconds", {{"route", "metrics"}});
+  dur_cache_stats_ =
+      registry_.histogram("serve_request_duration_seconds", {{"route", "cache_stats"}});
+  dur_spans_ = registry_.histogram("serve_request_duration_seconds", {{"route", "spans"}});
+  dur_other_ = registry_.histogram("serve_request_duration_seconds", {{"route", "other"}});
   resp_ok_ = registry_.counter("serve_responses_total", {{"class", "ok"}});
   resp_client_err_ = registry_.counter("serve_responses_total", {{"class", "client_error"}});
   resp_server_err_ = registry_.counter("serve_responses_total", {{"class", "server_error"}});
@@ -358,6 +372,12 @@ Service::Service(Options opts)
   registry_.gauge("serve_inflight_jobs", {}, [this] { return double(gate_.in_flight()); });
   registry_.gauge("serve_cache_entries", {},
                   [this] { return double(cache_.stats().entries); });
+  if (!opts_.access_log_path.empty()) {
+    access_log_.open(opts_.access_log_path, std::ios::app);
+    if (!access_log_) {
+      throw std::runtime_error("cannot open access log: " + opts_.access_log_path);
+    }
+  }
 }
 
 bool Service::should_verify(std::uint64_t key_hash, std::uint64_t nth_hit) const {
@@ -369,7 +389,7 @@ bool Service::should_verify(std::uint64_t key_hash, std::uint64_t nth_hit) const
 }
 
 HttpResponse Service::serve_blob(const std::string& key, const std::string& hash_hex,
-                                 const std::function<std::string()>& compute) {
+                                 const std::function<std::string()>& compute, TraceCtx& ctx) {
   const auto start = std::chrono::steady_clock::now();
   const auto elapsed_us = [&start] {
     return static_cast<std::uint64_t>(std::chrono::duration_cast<std::chrono::microseconds>(
@@ -377,6 +397,7 @@ HttpResponse Service::serve_blob(const std::string& key, const std::string& hash
                                           .count());
   };
   const auto envelope = [&](const char* cache_status, const std::string& blob) {
+    const std::uint64_t b = ctx.now_us();
     Writer w;
     w.begin_object();
     w.key("schema").value("cirrus-serve/1");
@@ -385,10 +406,16 @@ HttpResponse Service::serve_blob(const std::string& key, const std::string& hash
     w.key("key_hash").value(hash_hex);
     w.key("result").raw(blob);
     w.end_object();
-    return w.str();
+    std::string body = w.str();
+    ctx.span("serialize", b, ctx.now_us());
+    return body;
   };
 
-  if (auto blob = cache_.get(key)) {
+  const std::uint64_t cache_b = ctx.now_us();
+  auto blob = cache_.get(key);
+  ctx.span("cache", cache_b, ctx.now_us());
+  if (blob) {
+    ctx.rec.cache = "hit";
     bool verify_failed = false;
     std::uint64_t nth = 0;
     {
@@ -402,6 +429,10 @@ HttpResponse Service::serve_blob(const std::string& key, const std::string& hash
       // a slot like any miss — but a full queue just skips the audit rather
       // than failing the (already answered) hit.
       if (gate_.acquire_for(std::chrono::milliseconds(opts_.queue_timeout_ms))) {
+        // The audit recompute is spanned as "verify", not "execute": a hit's
+        // span chain must never show an execute phase (the answer came from
+        // the cache either way).
+        const std::uint64_t verify_b = ctx.now_us();
         std::string recomputed;
         try {
           recomputed = compute();
@@ -410,6 +441,7 @@ HttpResponse Service::serve_blob(const std::string& key, const std::string& hash
           throw;
         }
         gate_.release();
+        ctx.span("verify", verify_b, ctx.now_us());
         const bool ok = recomputed == *blob;
         std::lock_guard<std::mutex> lock(metrics_mu_);
         (ok ? verify_ok_ : verify_mismatch_).inc();
@@ -417,6 +449,7 @@ HttpResponse Service::serve_blob(const std::string& key, const std::string& hash
       }
     }
     if (verify_failed) {
+      ctx.rec.cache = "verify-failed";
       std::lock_guard<std::mutex> lock(metrics_mu_);
       resp_server_err_.inc();
       return {500, "application/json",
@@ -433,8 +466,12 @@ HttpResponse Service::serve_blob(const std::string& key, const std::string& hash
   }
 
   // Miss: bounded admission, then compute + fill.
+  ctx.rec.cache = "miss";
   const auto wait_start = std::chrono::steady_clock::now();
+  const std::uint64_t gate_b = ctx.now_us();
   if (!gate_.acquire_for(std::chrono::milliseconds(opts_.queue_timeout_ms))) {
+    ctx.span("gate-wait", gate_b, ctx.now_us());
+    ctx.rec.cache = "rejected";
     std::lock_guard<std::mutex> lock(metrics_mu_);
     resp_rejected_.inc();
     return {503, "application/json",
@@ -443,25 +480,28 @@ HttpResponse Service::serve_blob(const std::string& key, const std::string& hash
                        std::to_string(opts_.queue_timeout_ms) + " ms)"),
             {{"Retry-After", "1"}, {"X-Cirrus-Cache", "rejected"}}};
   }
+  ctx.span("gate-wait", gate_b, ctx.now_us());
   const auto queue_us = static_cast<std::uint64_t>(
       std::chrono::duration_cast<std::chrono::microseconds>(std::chrono::steady_clock::now() -
                                                             wait_start)
           .count());
-  std::string blob;
+  const std::uint64_t exec_b = ctx.now_us();
+  std::string blob2;
   try {
-    blob = compute();
+    blob2 = compute();
   } catch (...) {
     gate_.release();
     throw;
   }
   gate_.release();
-  cache_.put(key, blob);
+  ctx.span("execute", exec_b, ctx.now_us());
+  cache_.put(key, blob2);
   {
     std::lock_guard<std::mutex> lock(metrics_mu_);
     cache_miss_.inc();
     queue_wait_us_.observe(queue_us);
   }
-  HttpResponse resp{200, "application/json", envelope("miss", blob),
+  HttpResponse resp{200, "application/json", envelope("miss", blob2),
                     {{"X-Cirrus-Cache", "miss"}, {"X-Cirrus-Key", hash_hex}}};
   std::lock_guard<std::mutex> lock(metrics_mu_);
   resp_ok_.inc();
@@ -517,7 +557,8 @@ bool request_kvs(const HttpRequest& req,
 
 }  // namespace
 
-HttpResponse Service::handle_query(const HttpRequest& req) {
+HttpResponse Service::handle_query(const HttpRequest& req, TraceCtx& ctx) {
+  const std::uint64_t parse_b = ctx.now_us();
   std::vector<std::pair<std::string, std::string>> kvs;
   std::string error;
   if (!request_kvs(req, kvs, &error)) {
@@ -531,11 +572,13 @@ HttpResponse Service::handle_query(const HttpRequest& req) {
     resp_client_err_.inc();
     return {400, "application/json", error_body(error), {}};
   }
+  ctx.span("parse", parse_b, ctx.now_us());
   return serve_blob(run.canonical_key(), run.key_hash_hex(),
-                    [run] { return query_json(run); });
+                    [run] { return query_json(run); }, ctx);
 }
 
-HttpResponse Service::handle_advise(const HttpRequest& req) {
+HttpResponse Service::handle_advise(const HttpRequest& req, TraceCtx& ctx) {
+  const std::uint64_t parse_b = ctx.now_us();
   std::vector<std::pair<std::string, std::string>> kvs;
   std::string error;
   if (!request_kvs(req, kvs, &error)) {
@@ -574,29 +617,45 @@ HttpResponse Service::handle_advise(const HttpRequest& req) {
   char hash_hex[24];
   std::snprintf(hash_hex, sizeof hash_hex, "%016llx",
                 static_cast<unsigned long long>(core::fnv1a64(key)));
-  return serve_blob(key, hash_hex, [areq] { return advise_json(areq); });
+  ctx.span("parse", parse_b, ctx.now_us());
+  return serve_blob(key, hash_hex, [areq] { return advise_json(areq); }, ctx);
 }
 
+namespace {
+
+const char* route_name(const std::string& path) noexcept {
+  if (path == "/query") return "query";
+  if (path == "/advise") return "advise";
+  if (path == "/healthz") return "healthz";
+  if (path == "/metrics") return "metrics";
+  if (path == "/cache/stats") return "cache_stats";
+  if (path == "/spans") return "spans";
+  return "other";
+}
+
+std::string trace_hex(std::uint64_t id) {
+  char buf[20];
+  std::snprintf(buf, sizeof buf, "%016llx", static_cast<unsigned long long>(id));
+  return buf;
+}
+
+}  // namespace
+
 HttpResponse Service::handle(const HttpRequest& req) {
+  TraceCtx ctx;
+  ctx.start = std::chrono::steady_clock::now();
+  ctx.rec.id = ++trace_seq_;
+  ctx.rec.route = route_name(req.path);
+  HttpResponse resp = route_request(req, ctx);
+  resp.headers.emplace_back("X-Cirrus-Trace", trace_hex(ctx.rec.id));
+  finish_trace(ctx, resp);
+  return resp;
+}
+
+HttpResponse Service::route_request(const HttpRequest& req, TraceCtx& ctx) {
   try {
-    if (req.path == "/query") {
-      {
-        std::lock_guard<std::mutex> lock(metrics_mu_);
-        req_query_.inc();
-      }
-      return handle_query(req);
-    }
-    if (req.path == "/advise") {
-      {
-        std::lock_guard<std::mutex> lock(metrics_mu_);
-        req_advise_.inc();
-      }
-      return handle_advise(req);
-    }
-    {
-      std::lock_guard<std::mutex> lock(metrics_mu_);
-      req_other_.inc();
-    }
+    if (req.path == "/query") return handle_query(req, ctx);
+    if (req.path == "/advise") return handle_advise(req, ctx);
     if (req.path == "/healthz") {
       std::lock_guard<std::mutex> lock(metrics_mu_);
       resp_ok_.inc();
@@ -624,6 +683,12 @@ HttpResponse Service::handle(const HttpRequest& req) {
       resp_ok_.inc();
       return {200, "application/json", w.str(), {}};
     }
+    if (req.path == "/spans") {
+      auto resp = handle_spans();
+      std::lock_guard<std::mutex> lock(metrics_mu_);
+      resp_ok_.inc();
+      return resp;
+    }
     std::lock_guard<std::mutex> lock(metrics_mu_);
     resp_client_err_.inc();
     return {404, "application/json", error_body("no route for " + req.path), {}};
@@ -631,6 +696,112 @@ HttpResponse Service::handle(const HttpRequest& req) {
     std::lock_guard<std::mutex> lock(metrics_mu_);
     resp_server_err_.inc();
     return {500, "application/json", error_body(e.what()), {}};
+  }
+}
+
+HttpResponse Service::handle_spans() {
+  Writer w;
+  w.begin_object();
+  w.key("schema").value("cirrus-serve-spans/1");
+  w.key("requests");
+  w.begin_array();
+  for (const RequestTrace& t : recent_traces()) {
+    w.begin_object();
+    w.key("trace").value(trace_hex(t.id));
+    w.key("route").value(t.route);
+    w.key("status").value(static_cast<long long>(t.status));
+    w.key("cache").value(t.cache);
+    w.key("latency_us").value(static_cast<unsigned long long>(t.total_us));
+    w.key("spans");
+    w.begin_array();
+    for (const RequestSpan& s : t.spans) {
+      w.begin_object();
+      w.key("name").value(s.name);
+      w.key("begin_us").value(static_cast<unsigned long long>(s.begin_us));
+      w.key("end_us").value(static_cast<unsigned long long>(s.end_us));
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return {200, "application/json", w.str(), {}};
+}
+
+std::vector<RequestTrace> Service::recent_traces() const {
+  std::lock_guard<std::mutex> lock(traces_mu_);
+  return {traces_.begin(), traces_.end()};
+}
+
+void Service::finish_trace(TraceCtx& ctx, const HttpResponse& resp) {
+  ctx.rec.status = resp.status;
+  ctx.rec.total_us = ctx.now_us();
+  {
+    std::lock_guard<std::mutex> lock(metrics_mu_);
+    obs::Counter* req_ctr = &req_other_;
+    obs::Histogram* dur = &dur_other_;
+    if (ctx.rec.route == "query") {
+      req_ctr = &req_query_;
+      dur = &dur_query_;
+    } else if (ctx.rec.route == "advise") {
+      req_ctr = &req_advise_;
+      dur = &dur_advise_;
+    } else if (ctx.rec.route == "healthz") {
+      req_ctr = &req_healthz_;
+      dur = &dur_healthz_;
+    } else if (ctx.rec.route == "metrics") {
+      req_ctr = &req_metrics_;
+      dur = &dur_metrics_;
+    } else if (ctx.rec.route == "cache_stats") {
+      req_ctr = &req_cache_stats_;
+      dur = &dur_cache_stats_;
+    } else if (ctx.rec.route == "spans") {
+      req_ctr = &req_spans_;
+      dur = &dur_spans_;
+    }
+    req_ctr->inc();
+    dur->observe(ctx.rec.total_us);
+  }
+  const bool slow = opts_.slow_ms > 0 &&
+                    ctx.rec.total_us >= static_cast<std::uint64_t>(opts_.slow_ms) * 1000;
+  if (access_log_.is_open() || slow) {
+    const std::string id_hex = trace_hex(ctx.rec.id);
+    if (access_log_.is_open()) {
+      Writer w;
+      w.begin_object();
+      w.key("trace").value(id_hex);
+      w.key("route").value(ctx.rec.route);
+      w.key("status").value(static_cast<long long>(ctx.rec.status));
+      w.key("cache").value(ctx.rec.cache);
+      w.key("latency_us").value(static_cast<unsigned long long>(ctx.rec.total_us));
+      w.end_object();
+      std::lock_guard<std::mutex> lock(log_mu_);
+      access_log_ << w.str() << '\n';
+      access_log_.flush();
+    }
+    if (slow) {
+      // Slow-request summary: the span chain inline, so the blame (gate
+      // wait vs execute vs serialize) is visible without hitting /spans.
+      std::string chain;
+      for (const RequestSpan& s : ctx.rec.spans) {
+        if (!chain.empty()) chain += ' ';
+        chain += s.name;
+        chain += '=';
+        chain += std::to_string(s.end_us - s.begin_us);
+        chain += "us";
+      }
+      std::lock_guard<std::mutex> lock(log_mu_);
+      std::cerr << "[serve] slow request trace=" << id_hex << " route=" << ctx.rec.route
+                << " status=" << ctx.rec.status << " cache=" << ctx.rec.cache
+                << " total_us=" << ctx.rec.total_us << (chain.empty() ? "" : " ") << chain
+                << '\n';
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(traces_mu_);
+    traces_.push_back(std::move(ctx.rec));
+    while (traces_.size() > opts_.spans_capacity) traces_.pop_front();
   }
 }
 

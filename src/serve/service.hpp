@@ -21,13 +21,17 @@
 // determinism, which CI treats as a bug).
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
+#include <deque>
+#include <fstream>
 #include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <vector>
 
 #include "core/request.hpp"
 #include "fault/fault.hpp"
@@ -106,6 +110,29 @@ class Gate {
 // The service.
 // ---------------------------------------------------------------------------
 
+// ---------------------------------------------------------------------------
+// Request tracing (the real-time twin of the simulator's virtual-time spans).
+// ---------------------------------------------------------------------------
+
+/// One wall-clock phase of a request's lifecycle; times are microseconds
+/// since the request entered Service::handle().
+struct RequestSpan {
+  std::string name;  ///< parse | cache | gate-wait | execute | verify | serialize
+  std::uint64_t begin_us = 0;
+  std::uint64_t end_us = 0;
+};
+
+/// The trace record of one handled request, kept in a bounded ring and
+/// exposed at /spans.
+struct RequestTrace {
+  std::uint64_t id = 0;      ///< monotone; rendered as 16-hex X-Cirrus-Trace
+  std::string route;         ///< query | advise | healthz | metrics | cache_stats | spans | other
+  int status = 0;
+  std::string cache = "-";   ///< hit | miss | rejected | verify-failed | -
+  std::uint64_t total_us = 0;
+  std::vector<RequestSpan> spans;
+};
+
 class Service {
  public:
   struct Options {
@@ -113,6 +140,9 @@ class Service {
     int max_inflight_jobs = 0;     ///< <= 0: 2 x hardware threads
     int queue_timeout_ms = 5000;   ///< max wait for a compute slot
     double verify_fraction = 0;    ///< fraction of hits re-executed (0..1)
+    std::string access_log_path;   ///< JSON-lines access log ("" = off)
+    int slow_ms = 1000;            ///< slow-request log threshold (<=0 = off)
+    std::size_t spans_capacity = 256;  ///< /spans ring size
   };
 
   explicit Service(Options opts);
@@ -123,7 +153,15 @@ class Service {
   ///   GET  /query?k=v&...  -> result envelope (also POST with JSON body)
   ///   POST /advise         -> advisor envelope (also GET with query string)
   ///   GET  /cache/stats    -> cache counters
+  ///   GET  /spans          -> recent request traces (parse/cache/gate-wait/
+  ///                           execute/serialize span chains)
+  /// Every response carries an X-Cirrus-Trace id; per-request span chains
+  /// land in the /spans ring, the access log (if configured) and — above
+  /// Options::slow_ms — a slow-request line on stderr.
   HttpResponse handle(const HttpRequest& req);
+
+  /// Snapshot of the /spans ring, oldest first (tests and the endpoint).
+  [[nodiscard]] std::vector<RequestTrace> recent_traces() const;
 
   [[nodiscard]] const ResultCache& cache() const noexcept { return cache_; }
   [[nodiscard]] const Gate& gate() const noexcept { return gate_; }
@@ -132,14 +170,35 @@ class Service {
   [[nodiscard]] std::string metrics_text() const;
 
  private:
-  HttpResponse handle_query(const HttpRequest& req);
-  HttpResponse handle_advise(const HttpRequest& req);
+  /// Per-request context threaded through the handlers: the trace record
+  /// under construction plus its wall-clock origin.
+  struct TraceCtx {
+    RequestTrace rec;
+    std::chrono::steady_clock::time_point start;
+
+    [[nodiscard]] std::uint64_t now_us() const {
+      return static_cast<std::uint64_t>(std::chrono::duration_cast<std::chrono::microseconds>(
+                                            std::chrono::steady_clock::now() - start)
+                                            .count());
+    }
+    void span(const char* name, std::uint64_t begin_us, std::uint64_t end_us) {
+      rec.spans.push_back(RequestSpan{name, begin_us, end_us});
+    }
+  };
+
+  HttpResponse route_request(const HttpRequest& req, TraceCtx& ctx);
+  HttpResponse handle_query(const HttpRequest& req, TraceCtx& ctx);
+  HttpResponse handle_advise(const HttpRequest& req, TraceCtx& ctx);
+  HttpResponse handle_spans();
   /// Cache-or-compute for an already-canonicalised key. `compute` runs
   /// without the stats lock; sets `status` and returns the envelope body.
   HttpResponse serve_blob(const std::string& key, const std::string& hash_hex,
-                          const std::function<std::string()>& compute);
+                          const std::function<std::string()>& compute, TraceCtx& ctx);
   /// Deterministic hit-sampling decision for verify mode.
   bool should_verify(std::uint64_t key_hash, std::uint64_t nth_hit) const;
+  /// Post-routing bookkeeping: per-route counter + duration histogram, the
+  /// /spans ring push, the access-log line and the slow-request log.
+  void finish_trace(TraceCtx& ctx, const HttpResponse& resp);
 
   Options opts_;
   ResultCache cache_;
@@ -147,12 +206,25 @@ class Service {
 
   mutable std::mutex metrics_mu_;
   obs::MetricsRegistry registry_;
-  obs::Counter req_query_, req_advise_, req_other_;
+  obs::Counter req_query_, req_advise_, req_healthz_, req_metrics_, req_cache_stats_,
+      req_spans_, req_other_;
   obs::Counter resp_ok_, resp_client_err_, resp_server_err_, resp_rejected_;
   obs::Counter cache_hit_, cache_miss_;
   obs::Counter verify_ok_, verify_mismatch_;
   obs::Histogram lat_hit_us_, lat_miss_us_, queue_wait_us_;
+  /// serve_request_duration_seconds{route=...}: log2 buckets over integer
+  /// microseconds (the registry's histograms bucket integers; the metric
+  /// name follows the Prometheus duration convention).
+  obs::Histogram dur_query_, dur_advise_, dur_healthz_, dur_metrics_, dur_cache_stats_,
+      dur_spans_, dur_other_;
   std::uint64_t hit_seq_ = 0;  // under metrics_mu_
+
+  std::atomic<std::uint64_t> trace_seq_{0};
+  mutable std::mutex traces_mu_;
+  std::deque<RequestTrace> traces_;  // bounded ring, newest at back
+
+  std::mutex log_mu_;
+  std::ofstream access_log_;  // open iff Options::access_log_path non-empty
 };
 
 /// JSON error body ({"error": "..."}).

@@ -171,6 +171,9 @@ bool LpGroup::service_round(Service& service) {
   }
   in_service_ = false;
   for (Engine* e : engines_) e->clear_sched_stamp();
+  if (i > 0 && opts_.on_round) {
+    opts_.on_round(pending_.front().t, pending_[i - 1].t, i);
+  }
   pending_.erase(pending_.begin(), pending_.begin() + static_cast<std::ptrdiff_t>(i));
   // Stall latches: an LP whose deferred fibers were all resumed may advance;
   // one with a suspended fiber still pending must stay parked at its time
@@ -232,13 +235,16 @@ void LpGroup::run(Service service) {
       if (b != nullptr && b->t < horizon) horizon = b->t;
       // Sub-rounds: run, service what deferred, repeat until the window is
       // quiet. Each round services at least one request, so this terminates.
+      std::size_t rounds = 0;
       for (;;) {
         parallel_phase(horizon);
         for (std::size_t lp = 0; lp < engines_.size(); ++lp) {
           if (c.errors[lp]) std::rethrow_exception(c.errors[lp]);
         }
         if (!service_round(service)) break;
+        ++rounds;
       }
+      if (opts_.on_window) opts_.on_window(t_next, horizon, rounds);
     }
   } catch (...) {
     drain_all();

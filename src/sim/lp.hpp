@@ -102,6 +102,15 @@ class LpGroup {
  public:
   struct Options {
     SimTime lookahead = 1;  ///< L, in ns; must be > 0 for the protocol to advance
+    /// Coordinator-side observability hooks (sim cannot depend on obs, so
+    /// the span recording lives with the caller). Both run on the
+    /// coordinator thread while every LP is parked, so they may touch
+    /// caller state without locks. Null hooks cost nothing.
+    /// After each window: (T_next, horizon, service rounds it took).
+    std::function<void(SimTime, SimTime, std::size_t)> on_window;
+    /// After each non-empty service round: (first key time, last key time,
+    /// requests serviced).
+    std::function<void(SimTime, SimTime, std::size_t)> on_round;
   };
 
   /// Services one request in canonical order: price against shared state,

@@ -100,15 +100,27 @@ sim::SimTime Service::write_at(sim::SimTime now, std::size_t bytes, bool open_fi
 sim::SimTime Service::request(sim::SimTime now, std::size_t bytes, double bw_Bps,
                               bool open_file) {
   if (open_file) ++stats_.opens;
+  // Snapshot the accumulators around dispatch so last_op_ is the pure delta
+  // this request contributed — observation only, no completion-time change.
+  const sim::SimTime q0 = stats_.queued;
+  sim::SimTime done = now;
   switch (model_.backend) {
     case Backend::Nfs:
-      return nfs_request(now, bytes, bw_Bps, open_file);
+      done = nfs_request(now, bytes, bw_Bps, open_file);
+      break;
     case Backend::Lustre:
-      return lustre_request(now, bytes, bw_Bps, open_file);
+      done = lustre_request(now, bytes, bw_Bps, open_file);
+      break;
     case Backend::Object:
-      return object_request(now, bytes, bw_Bps);
+      done = object_request(now, bytes, bw_Bps);
+      break;
   }
-  return now;
+  last_op_.queued = stats_.queued - q0;
+  // Clamp to the request's own latency: Lustre reserves service time on
+  // several servers in parallel, so the busy delta can exceed wall time.
+  last_op_.queued = std::min(last_op_.queued, done - now);
+  last_op_.service = done - now - last_op_.queued;
+  return done;
 }
 
 sim::SimTime Service::nfs_request(sim::SimTime now, std::size_t bytes, double bw_Bps,

@@ -81,6 +81,14 @@ struct Stats {
   sim::SimTime queued = 0;          ///< head-of-line wait behind earlier requests
 };
 
+/// Decomposition of the most recent request's latency: time spent queued
+/// behind earlier requests vs time the servers were actually working on it.
+/// Feeds the storage.queue/storage.service spans and critical-path blame.
+struct LastOp {
+  sim::SimTime queued = 0;
+  sim::SimTime service = 0;
+};
+
 /// Deterministic FIFO storage service. read()/write() reserve server time
 /// and return the completion instant; the caller (RankEnv::io_read/io_write)
 /// sleeps the requesting fiber until then.
@@ -101,6 +109,9 @@ class Service {
 
   [[nodiscard]] const Model& model() const noexcept { return model_; }
   [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+  /// Queue/service split of the most recent read/write (Stats deltas — pure
+  /// accounting, the completion arithmetic is untouched).
+  [[nodiscard]] const LastOp& last_op() const noexcept { return last_op_; }
 
  private:
   sim::SimTime request(sim::SimTime now, std::size_t bytes, double bw_Bps, bool open_file);
@@ -115,6 +126,7 @@ class Service {
   sim::SimTime mds_free_ = 0;              ///< Lustre metadata server horizon
   std::size_t stripe_rotor_ = 0;           ///< next OSS for round-robin striping
   Stats stats_;
+  LastOp last_op_;
 };
 
 }  // namespace cirrus::storage

@@ -56,11 +56,17 @@ bool bound_holds(BoundOp op, double actual, double bound) noexcept {
 }
 
 /// Finds (name, platform, ranks) across all reports, restricted to `target`.
+/// Searches each report's metrics first, then its critpath blame block, so
+/// `metric`/`expect`/`order` reference lines address "blame.*" rows with the
+/// same grammar as ordinary metrics.
 const Metric* find_metric(const std::vector<RunReport>& reports, const std::string& target,
                           const std::string& name, const std::string& platform, int ranks) {
   for (const auto& r : reports) {
     if (r.target != target) continue;
     if (const Metric* m = r.find(name, platform, ranks)) return m;
+    for (const auto& m : r.critpath) {
+      if (m.ranks == ranks && m.name == name && m.platform == platform) return &m;
+    }
   }
   return nullptr;
 }
@@ -299,6 +305,27 @@ std::string write_reference(const std::vector<RunReport>& reports, double rel_to
     if (r.metrics.empty()) continue;
     os << "\n# --- " << r.target << ": " << r.title << "\n";
     for (const auto& m : r.metrics) {
+      os << "metric " << r.target << " " << m.name << " "
+         << (m.platform.empty() ? "-" : m.platform) << " " << m.ranks << " " << fmt(m.value)
+         << " " << fmt(rel_tol) << " " << fmt(abs_tol) << "\n";
+    }
+  }
+  return os.str();
+}
+
+std::string write_critpath_reference(const std::vector<RunReport>& reports, double rel_tol,
+                                     double abs_tol) {
+  std::ostringstream os;
+  os << "# Auto-generated by `cirrus_bench --write-ref` — quantitative pins of every\n"
+     << "# critical-path blame fraction (obs::critpath). Regenerate wholesale when a\n"
+     << "# model change intentionally shifts the blame split; the qualitative\n"
+     << "# expect checks (e.g. \"CG@64 on DCC blames fabric over compute\") are\n"
+     << "# curated by hand below the marker line and survive regeneration.\n"
+     << "# metric <target> <name> <platform> <ranks> <value> <rel_tol> <abs_tol>\n";
+  for (const auto& r : reports) {
+    if (r.critpath.empty()) continue;
+    os << "\n# --- " << r.target << ": " << r.title << "\n";
+    for (const auto& m : r.critpath) {
       os << "metric " << r.target << " " << m.name << " "
          << (m.platform.empty() ? "-" : m.platform) << " " << m.ranks << " " << fmt(m.value)
          << " " << fmt(rel_tol) << " " << fmt(abs_tol) << "\n";

@@ -111,4 +111,10 @@ std::string render_checks(const std::vector<CheckResult>& results, bool failures
 std::string write_reference(const std::vector<RunReport>& reports, double rel_tol = 0.05,
                             double abs_tol = 1e-6);
 
+/// Same, but over the reports' critical-path blame blocks (`critpath.ref`).
+/// Fractions get a wider default abs_tol: a 0.5 % absolute shift in a blame
+/// share is noise, not a model change.
+std::string write_critpath_reference(const std::vector<RunReport>& reports,
+                                     double rel_tol = 0.05, double abs_tol = 0.005);
+
 }  // namespace cirrus::valid

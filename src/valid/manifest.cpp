@@ -97,6 +97,20 @@ std::string manifest_json(const ManifestContext& ctx, const std::vector<RunRepor
       }
       os << "    ]";
     }
+    if (!r.critpath.empty()) {
+      // Critical-path blame block: same row shape as "metrics" so
+      // tools/manifest_diff.py can index both uniformly. Deterministic —
+      // derived from the virtual-time trace only.
+      os << ", \"critpath\": [\n";
+      for (std::size_t j = 0; j < r.critpath.size(); ++j) {
+        const auto& m = r.critpath[j];
+        os << "      {\"name\": " << json_string(m.name)
+           << ", \"platform\": " << json_string(m.platform) << ", \"ranks\": " << m.ranks
+           << ", \"value\": " << json_number(m.value) << ", \"units\": " << json_string(m.units)
+           << "}" << (j + 1 < r.critpath.size() ? "," : "") << "\n";
+      }
+      os << "    ]";
+    }
     os << "}" << (i + 1 < reports.size() ? "," : "") << "\n";
   }
   os << "  ],\n";

@@ -2,6 +2,8 @@
 
 #include <cctype>
 
+#include "sim/time.hpp"
+
 namespace cirrus::valid {
 
 RunReport& RunReport::add(std::string name, std::string platform, int ranks, double value,
@@ -16,6 +18,19 @@ const Metric* RunReport::find(std::string_view name, std::string_view platform,
     if (m.ranks == ranks && m.name == name && m.platform == platform) return &m;
   }
   return nullptr;
+}
+
+void add_blame(RunReport& report, const obs::critpath::Blame& blame,
+               const std::string& platform, int ranks) {
+  using obs::critpath::Category;
+  report.critpath.push_back(Metric{"blame.makespan", platform, ranks,
+                                   sim::to_seconds(blame.makespan), "s"});
+  const auto frac = blame.fractions();
+  for (int c = 0; c < obs::critpath::kNumCategories; ++c) {
+    report.critpath.push_back(
+        Metric{std::string("blame.") + obs::critpath::slug(static_cast<Category>(c)),
+               platform, ranks, frac[static_cast<std::size_t>(c)], "fraction"});
+  }
 }
 
 std::string slug(std::string_view s) {

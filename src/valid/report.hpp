@@ -15,6 +15,8 @@
 #include <utility>
 #include <vector>
 
+#include "obs/critpath.hpp"
+
 namespace cirrus::valid {
 
 /// One measured value. `platform` is a whitespace-free lower-case label: a
@@ -39,6 +41,10 @@ struct RunReport {
   /// (obs::GlobalCounters deltas). Deterministic: derived from virtual-time
   /// execution only, so it lives in the manifest's deterministic section.
   std::vector<std::pair<std::string, std::uint64_t>> telemetry;
+  /// Critical-path blame block (obs::critpath fractions, "blame.*" names).
+  /// Deterministic like `metrics` — virtual-time only — but kept separate so
+  /// the manifest, manifest_diff and critpath.ref can address it as a unit.
+  std::vector<Metric> critpath;
 
   /// Appends a metric; returns *this for chaining.
   RunReport& add(std::string name, std::string platform, int ranks, double value,
@@ -47,6 +53,12 @@ struct RunReport {
   [[nodiscard]] const Metric* find(std::string_view name, std::string_view platform,
                                    int ranks) const noexcept;
 };
+
+/// Appends one blame block to `report.critpath`: "blame.makespan" (seconds)
+/// followed by "blame.<category-slug>" fractions in Category order (the
+/// fractions sum to 1 whenever the makespan is non-zero).
+void add_blame(RunReport& report, const obs::critpath::Blame& blame,
+               const std::string& platform, int ranks);
 
 /// Lower-cases `s` and replaces every character outside [a-z0-9.+-] with '_',
 /// collapsing runs — makes free-form labels ("fattree 2:1 / scatter") safe

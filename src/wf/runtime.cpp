@@ -23,9 +23,27 @@ void worker_loop(mpi::RankEnv& env, const Dag& dag) {
     std::vector<std::uint64_t> sizes(hdr[1]);
     if (!sizes.empty()) comm.recv(0, kTagSizes, sizes.data(), sizes.size());
     env.annotate("task:" + t.name);
-    for (const std::uint64_t bytes : sizes) env.io_read(bytes, /*open_file=*/true);
-    env.compute(t.ref_seconds);
-    if (t.out_bytes > 0) env.io_write(t.out_bytes, /*open_file=*/true);
+    // Per-task stage spans (trace-gated no-ops otherwise): a wf.task parent
+    // with stage_in / compute / stage_out children — the Juve-style
+    // per-stage blame shape, nested so the storage layer's queue/service
+    // spans land under the staging stage that incurred them.
+    const std::uint32_t task_span = env.span_begin("wf.task", t.name);
+    if (!sizes.empty()) {
+      const std::uint32_t s = env.span_begin("wf.stage_in", t.name);
+      for (const std::uint64_t bytes : sizes) env.io_read(bytes, /*open_file=*/true);
+      env.span_end(s);
+    }
+    {
+      const std::uint32_t s = env.span_begin("wf.compute", t.name);
+      env.compute(t.ref_seconds);
+      env.span_end(s);
+    }
+    if (t.out_bytes > 0) {
+      const std::uint32_t s = env.span_begin("wf.stage_out", t.name);
+      env.io_write(t.out_bytes, /*open_file=*/true);
+      env.span_end(s);
+    }
+    env.span_end(task_span);
     const std::uint64_t done[2] = {hdr[0], static_cast<std::uint64_t>(comm.rank() - 1)};
     comm.send(0, kTagDone, done, 2);
   }

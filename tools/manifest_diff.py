@@ -3,17 +3,23 @@
 
 Usage:
     manifest_diff.py OLD.json NEW.json [--rel-tol 0.05] [--abs-tol 1e-9]
+                     [--critpath-rel-tol R] [--critpath-abs-tol A]
 
-Metrics are indexed by (target, name, platform, ranks). A metric counts as
-drifted when |new - old| > max(abs_tol, rel_tol * |old|); a metric present in
-OLD but missing from NEW counts as removed. Either condition exits 1 (the CI
-trend gate); metrics only present in NEW are reported informationally. Exit
-2 on usage or parse errors, 0 when the manifests agree within tolerance.
+Metrics are indexed by (target, name, platform, ranks); each target's
+critical-path blame block ("critpath": same row shape as "metrics") is
+indexed the same way but diffed under its own tolerance pair — blame
+fractions are shares of a makespan, so a small absolute shift is noise
+where the same relative shift in a pinned metric would be drift. A metric
+counts as drifted when |new - old| > max(abs_tol, rel_tol * |old|); a
+metric present in OLD but missing from NEW counts as removed. Either
+condition exits 1 (the CI trend gate); metrics only present in NEW are
+reported informationally. Exit 2 on usage or parse errors, 0 when the
+manifests agree within tolerance.
 
 This is the continuous-evaluation loop applied to ourselves: each CI run
 diffs its fresh `--suite gap` manifest against the previous run's cached one,
-so any silent drift in the simulated gap ratios fails the build instead of
-rotting quietly.
+so any silent drift in the simulated gap ratios — or in *why* they are what
+they are (the blame split) — fails the build instead of rotting quietly.
 """
 
 import argparse
@@ -21,7 +27,7 @@ import json
 import sys
 
 
-def load_metrics(path):
+def load_manifest(path):
     try:
         with open(path, "r", encoding="utf-8") as fh:
             doc = json.load(fh)
@@ -31,19 +37,48 @@ def load_metrics(path):
     if doc.get("schema", "").rsplit("/", 1)[0] != "cirrus-manifest":
         print(f"manifest_diff: {path}: not a cirrus-manifest file", file=sys.stderr)
         sys.exit(2)
-    metrics = {}
+    metrics, critpath = {}, {}
     for target in doc.get("targets", []):
         tname = target.get("target", "?")
-        for m in target.get("metrics", []):
-            key = (tname, m.get("name", "?"), m.get("platform", "-"),
-                   int(m.get("ranks", 0)))
-            metrics[key] = float(m.get("value", 0.0))
-    return metrics
+        for section, into in (("metrics", metrics), ("critpath", critpath)):
+            for m in target.get(section, []):
+                key = (tname, m.get("name", "?"), m.get("platform", "-"),
+                       int(m.get("ranks", 0)))
+                into[key] = float(m.get("value", 0.0))
+    return metrics, critpath
 
 
 def fmt(key):
     target, name, platform, ranks = key
     return f"{target}/{name}[{platform},{ranks}]"
+
+
+def diff_section(label, old, new, rel_tol, abs_tol):
+    """Prints the drift report for one section; returns True on drift/removal."""
+    drifted, removed = [], []
+    for key, old_v in sorted(old.items()):
+        if key not in new:
+            removed.append(key)
+            continue
+        new_v = new[key]
+        allowed = max(abs_tol, rel_tol * abs(old_v))
+        if abs(new_v - old_v) > allowed:
+            drifted.append((key, old_v, new_v, allowed))
+    added = sorted(k for k in new if k not in old)
+
+    for key, old_v, new_v, allowed in drifted:
+        print(f"DRIFT   {label} {fmt(key)}: {old_v:.9g} -> {new_v:.9g} "
+              f"(|delta| {abs(new_v - old_v):.3g} > allowed {allowed:.3g})")
+    for key in removed:
+        print(f"REMOVED {label} {fmt(key)}: was {old[key]:.9g}")
+    for key in added:
+        print(f"added   {label} {fmt(key)} = {new[key]:.9g}")
+
+    n_same = len(old) - len(removed) - len(drifted)
+    print(f"manifest_diff: {label}: {n_same} stable, {len(drifted)} drifted, "
+          f"{len(removed)} removed, {len(added)} added "
+          f"(rel_tol {rel_tol}, abs_tol {abs_tol})")
+    return bool(drifted or removed)
 
 
 def main():
@@ -52,38 +87,25 @@ def main():
     ap.add_argument("old")
     ap.add_argument("new")
     ap.add_argument("--rel-tol", type=float, default=0.05,
-                    help="relative drift tolerance (default 0.05)")
+                    help="relative drift tolerance for metrics (default 0.05)")
     ap.add_argument("--abs-tol", type=float, default=1e-9,
-                    help="absolute drift floor (default 1e-9)")
+                    help="absolute drift floor for metrics (default 1e-9)")
+    ap.add_argument("--critpath-rel-tol", type=float, default=0.10,
+                    help="relative drift tolerance for blame values (default 0.10)")
+    ap.add_argument("--critpath-abs-tol", type=float, default=0.02,
+                    help="absolute drift floor for blame values (default 0.02 — "
+                         "a two-point shift in a fraction is noise)")
     args = ap.parse_args()
 
-    old = load_metrics(args.old)
-    new = load_metrics(args.new)
+    old_metrics, old_critpath = load_manifest(args.old)
+    new_metrics, new_critpath = load_manifest(args.new)
 
-    drifted, removed = [], []
-    for key, old_v in sorted(old.items()):
-        if key not in new:
-            removed.append(key)
-            continue
-        new_v = new[key]
-        allowed = max(args.abs_tol, args.rel_tol * abs(old_v))
-        if abs(new_v - old_v) > allowed:
-            drifted.append((key, old_v, new_v, allowed))
-    added = sorted(k for k in new if k not in old)
-
-    for key, old_v, new_v, allowed in drifted:
-        print(f"DRIFT   {fmt(key)}: {old_v:.9g} -> {new_v:.9g} "
-              f"(|delta| {abs(new_v - old_v):.3g} > allowed {allowed:.3g})")
-    for key in removed:
-        print(f"REMOVED {fmt(key)}: was {old[key]:.9g}")
-    for key in added:
-        print(f"added   {fmt(key)} = {new[key]:.9g}")
-
-    n_same = len(old) - len(removed) - len(drifted)
-    print(f"manifest_diff: {n_same} stable, {len(drifted)} drifted, "
-          f"{len(removed)} removed, {len(added)} added "
-          f"(rel_tol {args.rel_tol}, abs_tol {args.abs_tol})")
-    return 1 if drifted or removed else 0
+    bad = diff_section("metrics", old_metrics, new_metrics,
+                       args.rel_tol, args.abs_tol)
+    if old_critpath or new_critpath:
+        bad |= diff_section("critpath", old_critpath, new_critpath,
+                            args.critpath_rel_tol, args.critpath_abs_tol)
+    return 1 if bad else 0
 
 
 if __name__ == "__main__":

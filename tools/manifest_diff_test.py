@@ -1,0 +1,99 @@
+#!/usr/bin/env python3
+"""Unit tests for manifest_diff.py: the metrics and critpath sections are
+diffed under their own tolerance pairs, drift/removal exits 1, agreement 0.
+
+Run directly (``python3 tools/manifest_diff_test.py``) or via ctest
+(``manifest_diff_test``). The fixture pair lives in tools/testdata/.
+"""
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import unittest
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+DIFF = os.environ.get("MANIFEST_DIFF", os.path.join(HERE, "manifest_diff.py"))
+DATA = os.path.join(HERE, "testdata")
+
+
+def run_diff(old, new, *extra):
+    return subprocess.run(
+        [sys.executable, DIFF, old, new, *extra],
+        capture_output=True, text=True, check=False)
+
+
+def fixture(name):
+    return os.path.join(DATA, name)
+
+
+class ManifestDiffTest(unittest.TestCase):
+    def test_identical_manifests_pass(self):
+        r = run_diff(fixture("manifest_old.json"), fixture("manifest_old.json"))
+        self.assertEqual(r.returncode, 0, r.stdout + r.stderr)
+        self.assertIn("0 drifted", r.stdout)
+
+    def test_within_tolerance_passes(self):
+        # new_ok nudges gap_CG by <5% rel and every blame fraction by 0.01
+        # (< the 0.02 critpath abs floor): both sections must stay green.
+        r = run_diff(fixture("manifest_old.json"), fixture("manifest_new_ok.json"))
+        self.assertEqual(r.returncode, 0, r.stdout + r.stderr)
+        self.assertIn("critpath:", r.stdout)
+        self.assertNotIn("DRIFT", r.stdout)
+
+    def test_blame_drift_fails(self):
+        # new_drift moves blame.compute 0.10 -> 0.30 and
+        # blame.fabric_serialization 0.42 -> 0.22 while the metrics section is
+        # unchanged: the critpath tolerance pair alone must trip the gate.
+        r = run_diff(fixture("manifest_old.json"), fixture("manifest_new_drift.json"))
+        self.assertEqual(r.returncode, 1, r.stdout + r.stderr)
+        self.assertIn("DRIFT   critpath ext8/blame.compute[cg.gen2012,64]", r.stdout)
+        self.assertNotIn("DRIFT   metrics", r.stdout)
+
+    def test_blame_drift_tolerable_with_wider_tolerance(self):
+        r = run_diff(fixture("manifest_old.json"), fixture("manifest_new_drift.json"),
+                     "--critpath-abs-tol", "0.25")
+        self.assertEqual(r.returncode, 0, r.stdout + r.stderr)
+
+    def test_removed_metric_fails(self):
+        with open(fixture("manifest_old.json"), encoding="utf-8") as fh:
+            doc = json.load(fh)
+        doc["targets"][0]["metrics"] = doc["targets"][0]["metrics"][1:]
+        with tempfile.NamedTemporaryFile("w", suffix=".json", delete=False) as fh:
+            json.dump(doc, fh)
+            trimmed = fh.name
+        try:
+            r = run_diff(fixture("manifest_old.json"), trimmed)
+            self.assertEqual(r.returncode, 1, r.stdout + r.stderr)
+            self.assertIn("REMOVED metrics", r.stdout)
+        finally:
+            os.unlink(trimmed)
+
+    def test_removed_critpath_block_fails(self):
+        with open(fixture("manifest_old.json"), encoding="utf-8") as fh:
+            doc = json.load(fh)
+        del doc["targets"][0]["critpath"]
+        with tempfile.NamedTemporaryFile("w", suffix=".json", delete=False) as fh:
+            json.dump(doc, fh)
+            trimmed = fh.name
+        try:
+            r = run_diff(fixture("manifest_old.json"), trimmed)
+            self.assertEqual(r.returncode, 1, r.stdout + r.stderr)
+            self.assertIn("REMOVED critpath", r.stdout)
+        finally:
+            os.unlink(trimmed)
+
+    def test_not_a_manifest_exits_2(self):
+        with tempfile.NamedTemporaryFile("w", suffix=".json", delete=False) as fh:
+            fh.write('{"schema": "something-else/1"}')
+            bogus = fh.name
+        try:
+            r = run_diff(bogus, bogus)
+            self.assertEqual(r.returncode, 2, r.stdout + r.stderr)
+        finally:
+            os.unlink(bogus)
+
+
+if __name__ == "__main__":
+    unittest.main()
